@@ -1,0 +1,112 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Boundless-memory overlay capacity (1 KiB chunks / 1 MiB cap in §4.2):
+   a bounded LRU must keep huge out-of-bounds spans survivable at a flat
+   memory cost.
+2. Pointer-arithmetic clamping (§3.2): what the 32-bit confinement costs
+   on pointer-arithmetic-heavy code (the price of tag integrity).
+3. Per-object metadata size (§4.3): extra metadata items shift memory
+   overhead measurably but linearly.
+"""
+
+from repro.core import MetadataManager, SGXBoundsScheme
+from repro.core.boundless import BoundlessCache
+from repro.harness.runner import run_workload
+from repro.minic import compile_source
+from repro.vm import VM
+from repro.workloads import get
+
+
+def test_boundless_lru_capacity(benchmark, save_result):
+    """OOB sweeps far larger than the overlay stay bounded by the cap."""
+    src = """
+    int main(int n, int threads) {
+        char *p = (char*)malloc(16);
+        for (uint off = 16; off < (uint)n; off += 1024) p[off] = 1;
+        return 7;
+    }
+    """
+
+    def run():
+        rows = []
+        for cap in (16 * 1024, 256 * 1024, 1024 * 1024):
+            scheme = SGXBoundsScheme(boundless=True)
+            scheme.overlay = BoundlessCache(capacity_bytes=cap)
+            module = scheme.instrument(compile_source(src)).finalize()
+            vm = VM(scheme=scheme)
+            vm.load(module)
+            result = vm.run("main", (4_000_000, 1))
+            stats = scheme.overlay.stats()
+            assert result == 7
+            assert stats["chunks_live"] <= cap // 1024
+            rows.append((cap, stats["chunks_live"], stats["evictions"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "Ablation: boundless LRU capacity\n" + "\n".join(
+        f"cap={cap:>8}B live_chunks={live:>5} evictions={ev}"
+        for cap, live, ev in rows)
+    save_result("ablation_boundless", text)
+    # Larger caps strictly reduce evictions.
+    assert rows[0][2] >= rows[1][2] >= rows[2][2]
+
+
+def test_clamping_cost(benchmark, save_result):
+    """Clamped pointer arithmetic costs a bounded premium over unclamped
+    (safe-marked) arithmetic — the price of tag integrity."""
+    workload = get("string_match")   # pointer-arithmetic heavy scan
+
+    def run():
+        no_opt = run_workload(workload, "sgxbounds", size="XS", threads=1,
+                              scheme_kwargs={"optimize_safe": False,
+                                             "optimize_hoist": False})
+        opt = run_workload(workload, "sgxbounds", size="XS", threads=1)
+        native = run_workload(workload, "native", size="XS", threads=1)
+        return native, opt, no_opt
+
+    native, opt, no_opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = ("Ablation: pointer-arithmetic clamping / check elision\n"
+            f"native cycles:    {native.cycles}\n"
+            f"optimized:        {opt.cycles} ({opt.cycles/native.cycles:.2f}x)\n"
+            f"fully clamped:    {no_opt.cycles} "
+            f"({no_opt.cycles/native.cycles:.2f}x)")
+    save_result("ablation_clamping", text)
+    assert native.result == opt.result == no_opt.result
+    assert opt.cycles <= no_opt.cycles
+
+
+def test_metadata_item_cost(benchmark, save_result):
+    """Each registered metadata item adds exactly 4 bytes per object."""
+    src = """
+    int main(int n, int threads) {
+        for (int i = 0; i < n; i++) {
+            char *p = (char*)malloc(32);
+            p[0] = 1;
+            free(p);
+        }
+        return 0;
+    }
+    """
+
+    def run():
+        rows = []
+        for items in (0, 1, 4):
+            manager = MetadataManager()
+            for k in range(items):
+                manager.register_item(f"item{k}")
+            scheme = SGXBoundsScheme(metadata=manager)
+            module = scheme.instrument(compile_source(src)).finalize()
+            vm = VM(scheme=scheme)
+            vm.load(module)
+            vm.run("main", (50, 1))
+            rows.append((items, scheme.metadata_bytes))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "Ablation: metadata items vs per-object footprint\n" + "\n".join(
+        f"items={items} metadata_bytes={total}" for items, total in rows)
+    save_result("ablation_metadata", text)
+    base = rows[0][1]
+    per_object = base // 4    # 4 bytes per object at zero items
+    assert rows[1][1] - base == per_object * 4
+    assert rows[2][1] - base == per_object * 16

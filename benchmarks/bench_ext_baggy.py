@@ -1,0 +1,47 @@
+"""Extension bench: SGXBounds vs a Baggy-Bounds-style scheme (§2.2).
+
+The paper argues Baggy Bounds' tagged/table design makes it the natural
+competitor inside enclaves but could not compare against it (no public
+release; reported numbers: 70% perf, 12% memory on SPECINT 2000).  This
+bench runs our Baggy implementation next to SGXBounds on heap-centric
+kernels. Expected shape: both stay well under ASan; Baggy pays
+power-of-two padding memory where SGXBounds pays 4 bytes/object.
+"""
+
+from repro.harness import report
+from repro.harness.runner import run_workload
+from repro.workloads import get
+
+KERNELS = ("swaptions", "dedup", "word_count", "histogram")
+
+
+def test_ext_baggy_vs_sgxbounds(benchmark, save_result):
+    def run():
+        table = {}
+        pad = {}
+        for name in KERNELS:
+            base = run_workload(get(name), "native", size="XS", threads=1)
+            row = {}
+            for scheme in ("sgxbounds", "baggy", "asan"):
+                r = run_workload(get(name), scheme, size="XS", threads=1)
+                assert r.ok and r.result == base.result, (name, scheme)
+                row[scheme] = r.cycles / base.cycles
+                if scheme == "baggy":
+                    pad[name] = r.scheme_report["padding_bytes"]
+            table[name] = row
+        return table, pad
+
+    table, pad = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = report.overhead_table(
+        "Extension: Baggy Bounds vs SGXBounds (perf overhead vs native)",
+        table, ("sgxbounds", "baggy", "asan"))
+    text += "\n\nBaggy power-of-two padding (bytes): " + ", ".join(
+        f"{k}={v}" for k, v in pad.items())
+    save_result("ext_baggy", text)
+
+    for name, row in table.items():
+        # Both tagged/table schemes beat ASan's worst pathologies; Baggy
+        # is a real contender, as §2.2 suggests.
+        assert row["baggy"] < max(row["asan"] * 1.5, 3.0), name
+    # Odd-sized nodes (24B hash nodes -> 32B blocks) force padding.
+    assert pad["word_count"] > 0

@@ -1,0 +1,37 @@
+"""Figure 1: SQLite speedtest — performance and memory vs working set.
+
+Paper shape to reproduce: SGXBounds stays within ~1.3-1.35x of native with
+near-zero memory overhead at every size; AddressSanitizer slows down with
+growing working sets (EPC pressure) and reserves ~512 MiB of shadow; Intel
+MPX degrades sharply and *crashes* (out of enclave memory) once its bounds
+tables outgrow the commit budget.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig1_sqlite(benchmark, save_result):
+    data, text = benchmark.pedantic(experiments.fig1_sqlite,
+                                    rounds=1, iterations=1)
+    save_result("fig01_sqlite", text)
+
+    largest_ok = None
+    for size in ("XS", "S", "M", "L", "XL"):
+        per = data[size]
+        native = per["native"].cycles
+        if per["sgxbounds"].ok:
+            ratio = per["sgxbounds"].cycles / native
+            assert ratio < per["asan"].cycles / native + 1e-9 \
+                or not per["asan"].ok, \
+                f"{size}: SGXBounds should not lose to ASan"
+        # SGXBounds: almost zero memory overhead at every size.
+        assert per["sgxbounds"].peak_reserved <= \
+            per["native"].peak_reserved * 1.5
+        # ASan reserves its 512 MiB shadow.
+        assert per["asan"].peak_reserved > 100 * per["native"].peak_reserved
+        if per["mpx"].ok:
+            largest_ok = size
+    # MPX must crash at some size (the paper's missing bars).
+    assert not data["XL"]["mpx"].ok and data["XL"]["mpx"].crashed == "OOM", \
+        "MPX should run out of enclave memory at the largest working set"
+    assert largest_ok != "XL"

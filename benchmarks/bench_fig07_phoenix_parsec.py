@@ -1,0 +1,41 @@
+"""Figure 7: Phoenix + PARSEC overheads over native SGX (8 threads in the
+paper; 4 simulated threads here).
+
+Paper shape: SGXBounds has the lowest average performance overhead (17% on
+the paper's testbed) and essentially zero memory overhead (0.1%); ASan is
+mid-field on performance (51%) but catastrophic on memory (8.1x average,
+with quarantine blow-ups like swaptions); MPX averages worst on
+performance (75%) with per-benchmark extremes on pointer-intensive
+kernels, and ~2x+ memory from bounds tables.
+"""
+
+from repro.harness import experiments
+from repro.harness.runner import geomean
+
+
+def test_fig7_phoenix_parsec(benchmark, save_result, bench_size):
+    data, text = benchmark.pedantic(
+        experiments.fig7_phoenix_parsec, kwargs={"size": bench_size},
+        rounds=1, iterations=1)
+    save_result("fig07_phoenix_parsec", text)
+
+    perf, mem = data["perf"], data["mem"]
+
+    def gm(table, scheme):
+        return geomean([row[scheme] for row in table.values()
+                        if row.get(scheme) is not None])
+
+    # Performance ordering: SGXBounds < ASan and SGXBounds < MPX.
+    assert gm(perf, "sgxbounds") < gm(perf, "asan")
+    assert gm(perf, "sgxbounds") < gm(perf, "mpx")
+
+    # Memory: SGXBounds ~zero overhead; ASan huge; MPX in between.
+    assert gm(mem, "sgxbounds") < 1.1
+    assert gm(mem, "asan") > 50
+    assert 1.2 < gm(mem, "mpx") < gm(mem, "asan")
+
+    # Pointer-free kernels are near-free under MPX (histogram story)...
+    assert perf["blackscholes"]["mpx"] < 1.5
+    # ...while the quarantine pathology hits swaptions under ASan.
+    assert perf["swaptions"]["asan"] > 2.0
+    assert perf["swaptions"]["sgxbounds"] < 1.3

@@ -1,0 +1,36 @@
+"""Figure 8 + Table 3: behaviour with increasing working sets.
+
+Paper shape: normalized to SGXBounds, the competing schemes' overheads
+grow as metadata inflates the working set past the EPC — visible as rising
+page-fault ratios in Table 3 — and the gap is widest where the SGXBounds
+working set still fits but the metadata-inflated one does not.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig8_kmeans_matrixmul(benchmark, save_result):
+    def run():
+        d1, t1 = experiments.fig8_working_set(
+            names=("kmeans",), sizes=("XS", "S", "M"))
+        d2, t2 = experiments.fig8_working_set(
+            names=("matrix_multiply",), sizes=("S", "M", "L"))
+        return {**d1, **d2}, t1 + "\n\n" + t2
+
+    data, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig08_working_set", text)
+
+    for name, per_size in data.items():
+        for size, per in per_size.items():
+            sgxb = per["sgxbounds"]
+            assert sgxb.ok, f"{name}/{size}: SGXBounds must survive"
+            # SGXBounds keeps the native working set: its fault count
+            # stays within a whisker of native's.
+            native_faults = max(1, per["native"].counters["epc_faults"])
+            assert sgxb.counters["epc_faults"] <= native_faults * 1.6
+            # Metadata schemes never fault *less* than SGXBounds (they
+            # strictly add memory).
+            for other in ("asan", "mpx"):
+                if per[other].ok:
+                    assert per[other].counters["epc_faults"] >= \
+                        sgxb.counters["epc_faults"] * 0.9

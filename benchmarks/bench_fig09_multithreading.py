@@ -1,0 +1,26 @@
+"""Figure 9: effect of multithreading (1 vs 4 threads).
+
+Paper shape: SGXBounds' overhead does not grow with thread count (17% ->
+16% in the paper) because pointer+bound share one word and need no
+synchronization; ASan's can grow (35% -> 49%) where redzones/shadow break
+the layout of cache-conscious multithreaded kernels.
+"""
+
+from repro.harness import experiments
+from repro.harness.runner import geomean
+
+
+def test_fig9_multithreading(benchmark, save_result, bench_size):
+    data, text = benchmark.pedantic(
+        experiments.fig9_multithreading, kwargs={"size": bench_size},
+        rounds=1, iterations=1)
+    save_result("fig09_multithreading", text)
+
+    def gm(threads, scheme):
+        return geomean([row[scheme] for row in data[threads].values()
+                        if row.get(scheme) is not None])
+
+    # SGXBounds' overhead must not blow up with threads (within noise).
+    assert gm(4, "sgxbounds") < gm(1, "sgxbounds") * 1.25
+    # And it beats ASan at 4 threads.
+    assert gm(4, "sgxbounds") < gm(4, "asan")

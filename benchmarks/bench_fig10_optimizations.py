@@ -1,0 +1,29 @@
+"""Figure 10: effect of the two §4.4 optimizations on SGXBounds.
+
+Paper shape: modest average improvement (about 2%) with significant gains
+on loop/array-heavy kernels (up to ~20-22% for kmeans/matrixmul/x264);
+optimizations never make things slower and never change results.
+"""
+
+from repro.harness import experiments
+from repro.harness.runner import geomean
+
+
+def test_fig10_optimizations(benchmark, save_result):
+    data, text = benchmark.pedantic(experiments.fig10_optimizations,
+                                    rounds=1, iterations=1)
+    save_result("fig10_optimizations", text)
+
+    def gm(variant):
+        return geomean([row[variant] for row in data.values()
+                        if row.get(variant) is not None])
+
+    # All optimizations combined never lose to no optimization.
+    assert gm("all-opt") <= gm("no-opt") * 1.01
+    for name, row in data.items():
+        assert row["all-opt"] <= row["no-opt"] * 1.05, name
+    # And at least one kernel gains substantially (the kmeans/matmul
+    # story in the paper).
+    best_gain = max((row["no-opt"] - row["all-opt"]) / row["no-opt"]
+                    for row in data.values())
+    assert best_gain > 0.10, "expected a >10% winner among the kernels"

@@ -1,0 +1,32 @@
+"""Figure 12: SPEC outside the enclave (unconstrained memory).
+
+Paper shape — the honest negative result: outside SGX, SGXBounds *loses*
+its advantage (55% there vs ASan's 38%); its benefit is tied to the
+enclave's memory constraints.  We assert that the SGXBounds-vs-ASan gap
+shrinks (or flips) relative to the in-enclave configuration.
+"""
+
+from repro.harness import experiments
+from repro.harness.runner import geomean
+
+
+def _gm(table, scheme):
+    return geomean([row[scheme] for row in table.values()
+                    if row.get(scheme) is not None])
+
+
+def test_fig12_spec_native(benchmark, save_result, bench_size):
+    def run():
+        inside, _ = experiments.fig11_spec_sgx(size=bench_size)
+        outside, text = experiments.fig12_spec_native(size=bench_size)
+        return inside, outside, text
+
+    inside, outside, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig12_spec_native", text)
+
+    in_gap = _gm(inside["perf"], "asan") - _gm(inside["perf"], "sgxbounds")
+    out_gap = _gm(outside["perf"], "asan") - _gm(outside["perf"], "sgxbounds")
+    # Outside the enclave SGXBounds' edge over ASan shrinks.
+    assert out_gap < in_gap, (
+        f"SGXBounds' advantage should shrink outside SGX "
+        f"(inside gap {in_gap:.3f}, outside gap {out_gap:.3f})")

@@ -1,0 +1,26 @@
+"""Figure 13: case studies — Memcached, Apache, Nginx throughput + memory.
+
+Paper shape: SGXBounds tracks native SGX throughput closely on all three
+servers with near-native memory; ASan's memory is enormous (shadow) while
+its throughput cost varies; MPX's memory (bounds tables) dwarfs native.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig13_case_studies(benchmark, save_result):
+    data, text = benchmark.pedantic(experiments.fig13_case_studies,
+                                    rounds=1, iterations=1)
+    save_result("fig13_case_studies", text)
+
+    for app, per_scheme in data.items():
+        native_tput, native_mem = per_scheme["native"]
+        sgxb_tput, sgxb_mem = per_scheme["sgxbounds"]
+        assert sgxb_tput > 0.4 * native_tput, \
+            f"{app}: SGXBounds throughput collapsed"
+        # Memory at peak throughput: SGXBounds near-native; ASan huge.
+        assert sgxb_mem < native_mem * 2.0, f"{app}: SGXBounds memory"
+        asan_tput, asan_mem = per_scheme["asan"]
+        assert asan_mem > 20 * native_mem, f"{app}: ASan shadow missing?"
+        # SGXBounds throughput beats or matches ASan's.
+        assert sgxb_tput >= asan_tput * 0.95, f"{app}: tput ordering"

@@ -1,0 +1,29 @@
+"""Table 4: RIPE security benchmark.
+
+Paper numbers to match exactly (they're categorical, not performance):
+MPX 2/16, AddressSanitizer 8/16, SGXBounds 8/16 — the 8 undetected
+attacks for ASan/SGXBounds are all in-struct overflows.
+"""
+
+from repro.harness import experiments
+from repro.workloads import ripe
+
+
+def test_tab4_ripe(benchmark, save_result):
+    data, text = benchmark.pedantic(experiments.tab4_ripe,
+                                    rounds=1, iterations=1)
+    save_result("tab04_ripe", text)
+
+    assert ripe.prevented_count(data["native"]) == 0
+    assert ripe.prevented_count(data["mpx"]) == 2
+    assert ripe.prevented_count(data["asan"]) == 8
+    assert ripe.prevented_count(data["sgxbounds"]) == 8
+
+    # Every attack actually works when unprotected.
+    assert all(o == ripe.SUCCEEDED for o in data["native"].values())
+
+    # The misses of ASan and SGXBounds are exactly the in-struct family.
+    for scheme in ("asan", "sgxbounds"):
+        missed = {a for a, o in data[scheme].items() if o != ripe.PREVENTED}
+        assert missed == {a for a in ripe.ATTACKS
+                          if ripe.ATTACKS[a][0] == "in-struct"}

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures: it runs the
+experiment once under ``pytest-benchmark`` timing, writes the paper-style
+table to ``benchmarks/results/<name>.txt``, and asserts the coarse *shape*
+of the result (who wins, where the pathologies are) — never absolute
+numbers, since the substrate is a simulator.
+
+Set ``REPRO_BENCH_SIZE`` (XS/S/M/...) to trade fidelity for wall time.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_size() -> str:
+    return os.environ.get("REPRO_BENCH_SIZE", "XS")
+
+
+@pytest.fixture
+def save_result():
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+    return _save

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Heartbleed inside the enclave (paper §7, Apache case study).
+
+Drives the Apache-like server with honest traffic plus a malicious
+heartbeat that claims 2048 bytes for an 8-byte payload.  The response
+would leak the session secret living right after the request buffer:
+
+ * native SGX      — the enclave encrypts the leak on the wire, but the
+   *server itself* happily sends the secret to the attacker;
+ * SGXBounds       — the over-read trips the memcpy wrapper's bound check;
+ * boundless mode  — the request is served with zeros in place of the
+   out-of-bounds bytes: no leak AND no downtime (failure-oblivious, §4.2).
+
+Run:  python examples/heartbleed.py
+"""
+
+from repro.core import SGXBoundsScheme
+from repro.errors import BoundsViolation
+from repro.harness.runner import run_server
+from repro.workloads.apps import apache
+
+SECRET_MARK = b"SSSS"
+
+
+def attempt(label, scheme_name, **scheme_kwargs):
+    requests = apache.workload(8) + [apache.heartbleed_request()]
+    result = run_server(apache.SOURCE, [requests], scheme_name, 9,
+                        threads=1, scheme_kwargs=scheme_kwargs or None,
+                        name="apache")
+    if not result.ok:
+        print(f"{label:24s} request blocked: server stopped with "
+              f"{result.crashed} (fail-stop)")
+        return
+    responses = result.net.sent(0)
+    leaked = any(SECRET_MARK in response for response in responses)
+    served = result.result
+    verdict = "SECRET LEAKED to the attacker" if leaked \
+        else "no leak (out-of-bounds bytes arrived as zeros)"
+    print(f"{label:24s} served {served} requests — {verdict}")
+
+
+def main():
+    print("Heartbleed heartbeat against the in-enclave Apache:\n")
+    attempt("native SGX", "native")
+    attempt("SGXBounds (fail-stop)", "sgxbounds")
+    attempt("SGXBounds (boundless)", "sgxbounds", boundless=True)
+    attempt("AddressSanitizer", "asan")
+    attempt("Intel MPX", "mpx")
+    print("""
+The paper's §7 result, reproduced: shielded execution alone does not stop
+the leak; all three memory-safety schemes detect it; and SGXBounds'
+boundless memory keeps Apache serving while replacing the leaked bytes
+with zeros.""")
+
+
+if __name__ == "__main__":
+    main()

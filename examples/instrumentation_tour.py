@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Figure 4, live: the same kernel under each instrumentation pass.
+
+Compiles the paper's array-copy example and prints the IR four ways —
+original, AddressSanitizer (shadow check), Intel MPX (bndcl/bndcu +
+bounds travel), SGXBounds (tagged-pointer extract + bounds check) — so
+you can read the exact analogue of the paper's Figure 4 side by side.
+
+Run:  python examples/instrumentation_tour.py
+"""
+
+from repro.asan import ASanScheme
+from repro.core import SGXBoundsScheme
+from repro.minic import compile_source
+from repro.mpx import MPXScheme
+from repro.ir import print_function
+
+KERNEL = r"""
+int *s[8];
+int *d[8];
+
+int copy(int m) {
+    for (int i = 0; i < m; i++)
+        d[i] = s[i];        // pointer copy: MPX must move bounds too
+    return 0;
+}
+"""
+
+
+def show(label, scheme):
+    module = compile_source(KERNEL, "fig4")
+    if scheme is not None:
+        module = scheme.instrument(module)
+    print(f"\n{'=' * 72}\n(Fig. 4{label}\n{'=' * 72}")
+    print(print_function(module.functions["copy"]))
+
+
+def main():
+    show("a) original", None)
+    show("b) AddressSanitizer — shadow load + check per access",
+         ASanScheme(optimize_safe=False))
+    show("c) Intel MPX — bndcl/bndcu checks, bndldx/bndstx move bounds "
+         "through the bounds table", MPXScheme(optimize_safe=False))
+    show("d) SGXBounds — extract p/UB from the tagged pointer, load LB "
+         "from [UB], clamped pointer arithmetic",
+         SGXBoundsScheme(optimize_safe=False, optimize_hoist=False))
+    print("""
+Things to notice (matching the paper's Figure 4 discussion):
+ * (c) stores/loads pointer *bounds* alongside every pointer store/load —
+   two separate instructions, hence the multithreading race of §4.1;
+ * (d) needs no extra action on the pointer copy itself: the upper bound
+   travels inside the 64-bit value, and the lower bound lives at [UB].""")
+
+
+if __name__ == "__main__":
+    main()

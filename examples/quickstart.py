@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a C program with SGXBounds inside a simulated enclave.
+
+Compiles a small MiniC program containing an off-by-one heap overflow,
+runs it four ways — unprotected, under SGXBounds (fail-stop), under
+SGXBounds with boundless memory, and under AddressSanitizer — and shows
+what each one sees.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.asan import ASanScheme
+from repro.core import SGXBoundsScheme
+from repro.errors import BoundsViolation
+from repro.minic import compile_source
+from repro.vm import VM
+
+PROGRAM = r"""
+int main() {
+    int *prices = (int*)malloc(16 * sizeof(int));
+    int *basket = (int*)malloc(16 * sizeof(int));
+    basket[0] = 9999;                      // our neighbour's data
+
+    for (int i = 0; i <= 16; i++)          // classic off-by-one: i <= 16
+        prices[i] = 100 + i;
+
+    int total = 0;
+    for (int i = 0; i < 16; i++) total += prices[i];
+    printf("total=%d neighbour=%d\n", total, basket[0]);
+    return basket[0];                      // was the neighbour corrupted?
+}
+"""
+
+
+def run(label, scheme):
+    module = compile_source(PROGRAM, "quickstart")
+    module = scheme.instrument(module) if scheme else module.clone()
+    module.finalize()
+    vm = VM(scheme=scheme)
+    vm.load(module)
+    try:
+        result = vm.run("main")
+    except BoundsViolation as err:
+        print(f"{label:22s} DETECTED: {err}")
+        return
+    counters = vm.enclave.finalize()
+    neighbour = "corrupted!" if result != 9999 else "intact"
+    print(f"{label:22s} ran to completion, neighbour {neighbour} "
+          f"({counters.instructions} instructions, {counters.cycles} cycles)")
+
+
+def main():
+    print("off-by-one heap overflow under four configurations:\n")
+    run("native SGX", None)
+    run("SGXBounds (fail-stop)", SGXBoundsScheme())
+    run("SGXBounds (boundless)", SGXBoundsScheme(boundless=True))
+    run("AddressSanitizer", ASanScheme())
+    print("""
+What happened:
+ * native SGX silently corrupts the adjacent object (the enclave cannot help);
+ * SGXBounds detects the 11th store via the tagged pointer's upper bound;
+ * with boundless memory (paper §4.2) the overflow is redirected to an
+   overlay chunk — the program finishes AND the neighbour is intact;
+ * AddressSanitizer detects it too, via the poisoned redzone.""")
+
+
+if __name__ == "__main__":
+    main()

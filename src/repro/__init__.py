@@ -1,0 +1,36 @@
+"""SGXBounds reproduction: memory safety for shielded execution.
+
+Public API tour:
+
+* compile a MiniC program: :func:`repro.minic.compile_source`;
+* pick a protection scheme: :class:`repro.core.SGXBoundsScheme`,
+  :class:`repro.asan.ASanScheme`, :class:`repro.mpx.MPXScheme`,
+  :class:`repro.baggy.BaggyScheme` (or ``None`` for native);
+* run it: :class:`repro.vm.VM` over a :class:`repro.sgx.Enclave`;
+* or use the harness: :func:`repro.harness.run_workload` and the
+  per-figure drivers in :mod:`repro.harness.experiments`.
+"""
+
+from repro.errors import (
+    BoundsViolation,
+    ControlFlowHijack,
+    DoubleFree,
+    OutOfMemory,
+    ReproError,
+    SegmentationFault,
+)
+from repro.sgx import Enclave, EnclaveConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Enclave",
+    "EnclaveConfig",
+    "ReproError",
+    "BoundsViolation",
+    "SegmentationFault",
+    "ControlFlowHijack",
+    "DoubleFree",
+    "OutOfMemory",
+    "__version__",
+]

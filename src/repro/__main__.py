@@ -1,0 +1,64 @@
+"""Command-line entry point: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig1 fig7 tab4
+    python -m repro fig7 --size S
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments as exp
+
+EXPERIMENTS = {
+    "tab1": lambda args: exp.tab1_defenses(),
+    "fig1": lambda args: exp.fig1_sqlite(),
+    "fig7": lambda args: exp.fig7_phoenix_parsec(size=args.size),
+    "fig8": lambda args: exp.fig8_working_set(),
+    "fig9": lambda args: exp.fig9_multithreading(size=args.size),
+    "fig10": lambda args: exp.fig10_optimizations(size=args.size),
+    "tab4": lambda args: exp.tab4_ripe(),
+    "fig11": lambda args: exp.fig11_spec_sgx(size=args.size),
+    "fig12": lambda args: exp.fig12_spec_native(size=args.size),
+    "fig13": lambda args: exp.fig13_case_studies(),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the SGXBounds paper's tables and figures "
+                    "on the simulated SGX substrate.")
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment ids (see 'list'), or 'all'")
+    parser.add_argument("--size", default="XS",
+                        help="workload size for sweeps (XS/S/M/L/XL)")
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    wanted = list(EXPERIMENTS) if args.experiments == ["all"] \
+        else args.experiments
+    for name in wanted:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 2
+        started = time.time()
+        _, text = runner(args)
+        print(text)
+        print(f"[{name}: {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Baggy Bounds extension scheme (paper §2.2 related work, implemented).
+
+The paper identifies Baggy Bounds as the closest tagged/table-based
+relative of SGXBounds but notes neither it nor Low Fat Pointers is
+publicly available; this package implements a Baggy-style scheme so the
+comparison can actually be run: a buddy allocator pads every heap object
+to a power of two, a byte-per-16-bytes size table stores log2(block size),
+and checks derive base and bound from the pointer alone.
+"""
+
+from repro.baggy.runtime import BaggyScheme
+
+__all__ = ["BaggyScheme"]

@@ -1,0 +1,32 @@
+"""SGXBounds proper: tagged pointers, runtime, boundless memory, metadata."""
+
+from repro.core.boundless import BoundlessCache
+from repro.core.metadata import DoubleFreeGuard, MetadataManager
+from repro.core.runtime import SGXBoundsScheme
+from repro.core.tagged_pointer import (
+    METADATA_SIZE,
+    bounds_violated,
+    extract_p,
+    extract_ub,
+    is_tagged,
+    pointer_arith,
+    specify_bounds,
+    unpack,
+    untag,
+)
+
+__all__ = [
+    "SGXBoundsScheme",
+    "BoundlessCache",
+    "MetadataManager",
+    "DoubleFreeGuard",
+    "METADATA_SIZE",
+    "specify_bounds",
+    "extract_p",
+    "extract_ub",
+    "is_tagged",
+    "bounds_violated",
+    "pointer_arith",
+    "unpack",
+    "untag",
+]

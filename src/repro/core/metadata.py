@@ -1,0 +1,130 @@
+"""Generic per-object metadata management (paper §4.3, Table 2).
+
+SGXBounds' memory layout — metadata appended right after the object —
+generalizes beyond the lower bound: an arbitrary number of 4-byte items can
+follow it.  This module exposes the paper's three-hook API:
+
+* ``on_create(objbase, objsize, objtype)`` — after object creation
+  (globals, heap; stack hooks are opt-in because they cost a native call
+  per frame);
+* ``on_access(address, size, metadata, accesstype)`` — before memory
+  accesses routed through the slow path / libc wrappers;
+* ``on_delete(metadata)`` — before heap deallocation.
+
+The double-free guard of §4.3 ("a magic number to compare with") ships as
+:class:`DoubleFreeGuard`, both as a usable feature and as the reference
+example of extending SGXBounds through this API.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.core.tagged_pointer import METADATA_SIZE, extract_ub, untag
+from repro.errors import DoubleFree
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.vm.machine import VM
+
+OBJ_GLOBAL = "global"
+OBJ_HEAP = "heap"
+OBJ_STACK = "stack"
+
+ACCESS_READ = "read"
+ACCESS_WRITE = "write"
+
+
+class MetadataManager:
+    """Registry of metadata items and lifecycle hooks.
+
+    Each registered item reserves one 4-byte word after the lower bound;
+    the total per-object footprint is ``4 * (1 + len(items))`` bytes.
+    """
+
+    def __init__(self) -> None:
+        self._items: Dict[str, int] = {}          # name -> index
+        self.on_create_hooks: List[Callable] = []
+        self.on_access_hooks: List[Callable] = []
+        self.on_delete_hooks: List[Callable] = []
+
+    # -- item registry ------------------------------------------------------
+    def register_item(self, name: str) -> int:
+        """Reserve a metadata word; returns its index (0-based, after LB)."""
+        if name in self._items:
+            raise ValueError(f"metadata item {name!r} already registered")
+        index = len(self._items)
+        self._items[name] = index
+        return index
+
+    @property
+    def extra_bytes(self) -> int:
+        """Extra bytes appended to every object beyond the LB word."""
+        return METADATA_SIZE * len(self._items)
+
+    def item_address(self, tagged_ptr: int, name: str) -> int:
+        """Address of item ``name`` for the object ``tagged_ptr`` points into."""
+        upper = extract_ub(tagged_ptr)
+        return upper + METADATA_SIZE * (1 + self._items[name])
+
+    def read_item(self, vm: "VM", tagged_ptr: int, name: str) -> int:
+        return vm.space.read_u32(self.item_address(tagged_ptr, name))
+
+    def write_item(self, vm: "VM", tagged_ptr: int, name: str,
+                   value: int) -> None:
+        vm.space.write_u32(self.item_address(tagged_ptr, name), value)
+
+    # -- hook registry ---------------------------------------------------------
+    def on_create(self, hook: Callable) -> Callable:
+        """hook(vm, objbase, objsize, objtype, tagged_ptr)"""
+        self.on_create_hooks.append(hook)
+        return hook
+
+    def on_access(self, hook: Callable) -> Callable:
+        """hook(vm, address, size, tagged_ptr, accesstype)"""
+        self.on_access_hooks.append(hook)
+        return hook
+
+    def on_delete(self, hook: Callable) -> Callable:
+        """hook(vm, tagged_ptr)"""
+        self.on_delete_hooks.append(hook)
+        return hook
+
+    # -- dispatch (called by the SGXBounds runtime) -----------------------------
+    def fire_create(self, vm: "VM", base: int, size: int, objtype: str,
+                    tagged: int) -> None:
+        for hook in self.on_create_hooks:
+            hook(vm, base, size, objtype, tagged)
+
+    def fire_access(self, vm: "VM", address: int, size: int, tagged: int,
+                    accesstype: str) -> None:
+        for hook in self.on_access_hooks:
+            hook(vm, address, size, tagged, accesstype)
+
+    def fire_delete(self, vm: "VM", tagged: int) -> None:
+        for hook in self.on_delete_hooks:
+            hook(vm, tagged)
+
+
+class DoubleFreeGuard:
+    """Probabilistic double-free detection via a magic-number item (§4.3)."""
+
+    MAGIC = 0xA110C8ED
+
+    def __init__(self, manager: MetadataManager):
+        self.manager = manager
+        manager.register_item("dfguard_magic")
+        manager.on_create(self._created)
+        manager.on_delete(self._deleted)
+        self.detected = 0
+
+    def _created(self, vm: "VM", base: int, size: int, objtype: str,
+                 tagged: int) -> None:
+        if objtype == OBJ_HEAP:
+            self.manager.write_item(vm, tagged, "dfguard_magic", self.MAGIC)
+
+    def _deleted(self, vm: "VM", tagged: int) -> None:
+        magic = self.manager.read_item(vm, tagged, "dfguard_magic")
+        if magic != self.MAGIC:
+            self.detected += 1
+            raise DoubleFree(untag(tagged))
+        self.manager.write_item(vm, tagged, "dfguard_magic", 0)

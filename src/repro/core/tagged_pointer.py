@@ -1,0 +1,80 @@
+"""Tagged-pointer codec (paper §3.1–3.2, Figure 5).
+
+A 64-bit SGXBounds pointer is::
+
+    63            32 31             0
+    +---------------+---------------+
+    |  upper bound  |    pointer    |
+    +---------------+---------------+
+
+The upper bound (UB) doubles as the address of the object's metadata area:
+the 4-byte lower bound (LB) lives *at* UB, i.e. immediately after the
+object.  These helpers are the Python mirror of the always-inlined runtime
+functions in §3.2; the instrumentation pass emits the same operations as
+IR so they are executed (and costed) on the simulated CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+M32 = 0xFFFFFFFF
+M64 = (1 << 64) - 1
+TAG_SHIFT = 32
+
+#: Bytes of per-object metadata (the lower-bound word).
+METADATA_SIZE = 4
+
+
+def specify_bounds(pointer: int, upper_bound: int) -> int:
+    """Build a tagged pointer (the paper's ``specify_bounds``).
+
+    The caller must separately store the lower bound at ``upper_bound``
+    (see :func:`write_lower_bound`), matching §3.2::
+
+        void* specify_bounds(void *p, void *UB):
+            LBaddr = UB; *LBaddr = p
+            tagged = (UB << 32) | p
+    """
+    return ((upper_bound & M32) << TAG_SHIFT) | (pointer & M32)
+
+
+def extract_p(tagged: int) -> int:
+    """Plain pointer: the low 32 bits."""
+    return tagged & M32
+
+
+def extract_ub(tagged: int) -> int:
+    """Upper bound: the high 32 bits."""
+    return (tagged >> TAG_SHIFT) & M32
+
+
+def is_tagged(tagged: int) -> bool:
+    """Whether the value carries a bound (untagged values have UB = 0)."""
+    return (tagged >> TAG_SHIFT) != 0
+
+
+def bounds_violated(tagged: int, lower: int, size: int = 1) -> bool:
+    """The paper's ``bounds_violated``: [p, p+size) outside [LB, UB)."""
+    pointer = tagged & M32
+    upper = (tagged >> TAG_SHIFT) & M32
+    return pointer < lower or pointer + size > upper
+
+
+def pointer_arith(tagged: int, delta: int) -> int:
+    """Pointer arithmetic confined to the low 32 bits (§3.2).
+
+    An attacker-controlled delta cannot corrupt the upper bound: only the
+    pointer half wraps.
+    """
+    return (tagged & ~M32 & M64) | ((tagged + delta) & M32)
+
+
+def untag(value: int) -> int:
+    """Alias of :func:`extract_p` for readability at call sites."""
+    return value & M32
+
+
+def unpack(tagged: int) -> Tuple[int, int]:
+    """(pointer, upper_bound)."""
+    return tagged & M32, (tagged >> TAG_SHIFT) & M32

@@ -1,0 +1,23 @@
+"""Benchmark harness: runner, reports, per-figure experiment drivers."""
+
+from repro.harness.runner import (
+    DEFAULT_SCHEMES,
+    RunResult,
+    SCHEMES,
+    geomean,
+    overhead,
+    run_server,
+    run_workload,
+    sweep,
+)
+
+__all__ = [
+    "RunResult",
+    "SCHEMES",
+    "DEFAULT_SCHEMES",
+    "run_workload",
+    "run_server",
+    "sweep",
+    "overhead",
+    "geomean",
+]

@@ -1,0 +1,315 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Each function runs the sweep, returns the structured data, and renders the
+paper-style table via ``repro.harness.report``.  Scale note: workloads and
+the machine model run at roughly 1/1000 of the paper's testbed; enclave
+parameters per experiment are chosen so the *ratios* (working set vs EPC,
+metadata vs payload) land in the same regime as the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness import report
+from repro.harness.runner import (
+    DEFAULT_SCHEMES,
+    RunResult,
+    SCHEMES,
+    geomean,
+    overhead,
+    run_server,
+    run_workload,
+    sweep,
+)
+from repro.sgx import EnclaveConfig
+from repro.workloads import by_suite, get
+from repro.workloads.apps import apache, memcached, nginx, sqlite_kv
+from repro.minic import compile_source
+from repro.workloads.registry import Workload
+
+#: Enclave configs per experiment regime.
+FIG1_CONFIG = EnclaveConfig(epc_bytes=512 * 1024,
+                            commit_limit_bytes=2 * 1024 * 1024)
+FIG7_CONFIG = EnclaveConfig(epc_bytes=2 * 1024 * 1024)
+FIG8_CONFIG = EnclaveConfig(epc_bytes=64 * 1024, llc_bytes=32 * 1024)
+SPEC_CONFIG = EnclaveConfig(epc_bytes=1024 * 1024)
+APP_CONFIG = EnclaveConfig(epc_bytes=2 * 1024 * 1024)
+
+
+def _sqlite_workload() -> Workload:
+    return Workload("sqlite", "apps", sqlite_kv.SOURCE,
+                    sizes=sqlite_kv.SIZES, threads=1)
+
+
+# ---------------------------------------------------------------------------
+def fig1_sqlite(sizes: Sequence[str] = ("XS", "S", "M", "L", "XL"),
+                schemes: Sequence[str] = DEFAULT_SCHEMES
+                ) -> Tuple[Dict, str]:
+    """Figure 1: SQLite speedtest — perf and memory vs working set."""
+    workload = _sqlite_workload()
+    rows: List[List[object]] = []
+    data: Dict[str, Dict[str, RunResult]] = {}
+    for size in sizes:
+        per: Dict[str, RunResult] = {}
+        for scheme in schemes:
+            per[scheme] = run_workload(workload, scheme, size=size,
+                                       config=FIG1_CONFIG)
+        data[size] = per
+        base = per["native"]
+        row: List[object] = [size]
+        for scheme in schemes:
+            r = per[scheme]
+            row.append(None if not r.ok else r.cycles / base.cycles)
+        for scheme in schemes:
+            r = per[scheme]
+            row.append(None if not r.ok
+                       else r.peak_reserved / base.peak_reserved)
+        rows.append(row)
+    columns = (["size"] + [f"{s} perf" for s in schemes]
+               + [f"{s} mem" for s in schemes])
+    text = report.series_table(
+        "Figure 1: SQLite speedtest, overheads vs native SGX "
+        "(perf = cycles ratio, mem = reserved VM ratio)", columns, rows)
+    return data, text
+
+
+# ---------------------------------------------------------------------------
+def fig7_phoenix_parsec(size: str = "XS", threads: int = 4,
+                        schemes: Sequence[str] = DEFAULT_SCHEMES
+                        ) -> Tuple[Dict, str]:
+    """Figure 7: Phoenix + PARSEC performance and memory overheads."""
+    workloads = by_suite("phoenix") + by_suite("parsec")
+    results = sweep(workloads, schemes=schemes, size=size, threads=threads,
+                    config=FIG7_CONFIG)
+    perf = overhead(results, metric="cycles")
+    mem = overhead(results, metric="peak_reserved")
+    text = (report.overhead_table(
+        f"Figure 7 (top): performance overhead vs native SGX "
+        f"(size {size}, {threads} threads)", perf, schemes)
+        + "\n\n" + report.overhead_table(
+        "Figure 7 (bottom): memory overhead vs native SGX", mem, schemes))
+    return {"results": results, "perf": perf, "mem": mem}, text
+
+
+# ---------------------------------------------------------------------------
+def fig8_working_set(names: Sequence[str] = ("kmeans", "matrix_multiply"),
+                     sizes: Sequence[str] = ("XS", "S", "M", "L"),
+                     schemes: Sequence[str] = DEFAULT_SCHEMES
+                     ) -> Tuple[Dict, str]:
+    """Figure 8 + Table 3: increasing working sets, normalized to
+    SGXBounds; page faults / LLC misses / #BTs per cell."""
+    chunks: List[str] = []
+    data: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
+    for name in names:
+        workload = get(name)
+        rows = []
+        trows = []
+        data[name] = {}
+        for size in sizes:
+            per: Dict[str, RunResult] = {}
+            for scheme in schemes:
+                per[scheme] = run_workload(workload, scheme, size=size,
+                                           threads=1, config=FIG8_CONFIG)
+            data[name][size] = per
+            sgxb = per["sgxbounds"]
+            row: List[object] = [size]
+            for scheme in schemes:
+                r = per[scheme]
+                row.append(None if not (r.ok and sgxb.ok)
+                           else r.cycles / sgxb.cycles)
+            rows.append(row)
+            faults_sgxb = max(1, sgxb.counters.get("epc_faults", 0))
+            llc_sgxb = max(1, sgxb.counters.get("llc_misses", 0))
+            trows.append([
+                size,
+                None if not per["asan"].ok else
+                per["asan"].counters["llc_misses"] / llc_sgxb,
+                None if not per["mpx"].ok else
+                per["mpx"].counters["llc_misses"] / llc_sgxb,
+                None if not per["asan"].ok else
+                per["asan"].counters["epc_faults"] / faults_sgxb,
+                None if not per["mpx"].ok else
+                per["mpx"].counters["epc_faults"] / faults_sgxb,
+                None if not per["mpx"].ok else
+                per["mpx"].scheme_report.get("bounds_tables", 0),
+            ])
+        chunks.append(report.series_table(
+            f"Figure 8: {name} — cycles normalized to SGXBounds",
+            ["size"] + list(schemes), rows))
+        chunks.append(report.series_table(
+            f"Table 3: {name} — metadata diagnostics (ratios vs SGXBounds)",
+            ["size", "ASan LLCx", "MPX LLCx", "ASan PFx", "MPX PFx",
+             "# of BTs"], trows))
+    return data, "\n\n".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+def fig9_multithreading(size: str = "XS",
+                        thread_counts: Sequence[int] = (1, 4),
+                        schemes: Sequence[str] = ("asan", "sgxbounds")
+                        ) -> Tuple[Dict, str]:
+    """Figure 9: ASan vs SGXBounds overheads at 1 and 4 threads."""
+    workloads = [w for w in by_suite("phoenix") + by_suite("parsec")
+                 if w.threads > 1]
+    chunks = []
+    data = {}
+    for threads in thread_counts:
+        results = sweep(workloads, schemes=("native",) + tuple(schemes),
+                        size=size, threads=threads, config=FIG7_CONFIG)
+        perf = overhead(results, metric="cycles")
+        data[threads] = perf
+        chunks.append(report.overhead_table(
+            f"Figure 9: performance overhead vs native SGX "
+            f"({threads} thread(s))", perf, schemes))
+    return data, "\n\n".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+OPT_VARIANTS = {
+    "no-opt": {"optimize_safe": False, "optimize_hoist": False},
+    "safe": {"optimize_safe": True, "optimize_hoist": False},
+    "hoist": {"optimize_safe": False, "optimize_hoist": True},
+    "all-opt": {"optimize_safe": True, "optimize_hoist": True},
+}
+
+
+def fig10_optimizations(size: str = "XS", threads: int = 1,
+                        names: Optional[Sequence[str]] = None
+                        ) -> Tuple[Dict, str]:
+    """Figure 10: SGXBounds overhead under each optimization setting."""
+    workloads = ([get(n) for n in names] if names
+                 else by_suite("phoenix") + by_suite("parsec"))
+    table: Dict[str, Dict[str, Optional[float]]] = {}
+    for workload in workloads:
+        base = run_workload(workload, "native", size=size, threads=threads,
+                            config=FIG7_CONFIG)
+        row: Dict[str, Optional[float]] = {}
+        for label, kwargs in OPT_VARIANTS.items():
+            r = run_workload(workload, "sgxbounds", size=size,
+                             threads=threads, config=FIG7_CONFIG,
+                             scheme_kwargs=kwargs)
+            if r.result != base.result:
+                raise AssertionError(f"{workload.name}/{label}: result "
+                                     f"mismatch vs native")
+            row[label] = r.cycles / base.cycles if r.ok and base.ok else None
+        table[workload.name] = row
+    text = report.overhead_table(
+        f"Figure 10: SGXBounds overhead vs native SGX per optimization "
+        f"(size {size})", table, list(OPT_VARIANTS))
+    return table, text
+
+
+# ---------------------------------------------------------------------------
+def tab4_ripe() -> Tuple[Dict, str]:
+    """Table 4: RIPE — attacks prevented per scheme."""
+    from repro.workloads import ripe
+    factories = {name: (lambda f=factory: f()) for name, factory in
+                 [("native", lambda: None)] +
+                 [(n, SCHEMES[n]) for n in ("mpx", "asan", "sgxbounds")]}
+    table = ripe.ripe_table(factories)
+    rows = []
+    for scheme in ("mpx", "asan", "sgxbounds"):
+        prevented = ripe.prevented_count(table[scheme])
+        missing = sorted(a for a, o in table[scheme].items()
+                         if o != ripe.PREVENTED and
+                         table["native"][a] == ripe.SUCCEEDED)
+        note = ("except in-struct overflows"
+                if all(m.startswith("instruct") or "laundered" not in m
+                       for m in missing) and prevented == 8
+                else "misses laundered + in-struct attacks")
+        rows.append([scheme, f"{prevented}/16", note])
+    text = report.series_table("Table 4: RIPE security benchmark",
+                               ["approach", "prevented", "notes"], rows)
+    return table, text
+
+
+# ---------------------------------------------------------------------------
+def fig11_spec_sgx(size: str = "XS",
+                   schemes: Sequence[str] = DEFAULT_SCHEMES
+                   ) -> Tuple[Dict, str]:
+    """Figure 11: SPEC inside the enclave — perf and memory."""
+    results = sweep(by_suite("spec"), schemes=schemes, size=size,
+                    threads=1, config=SPEC_CONFIG)
+    perf = overhead(results, metric="cycles")
+    mem = overhead(results, metric="peak_reserved")
+    text = (report.overhead_table(
+        f"Figure 11 (top): SPEC in-enclave performance overhead "
+        f"(size {size})", perf, schemes)
+        + "\n\n" + report.overhead_table(
+        "Figure 11 (bottom): SPEC in-enclave memory overhead", mem, schemes))
+    return {"perf": perf, "mem": mem}, text
+
+
+def fig12_spec_native(size: str = "XS",
+                      schemes: Sequence[str] = DEFAULT_SCHEMES
+                      ) -> Tuple[Dict, str]:
+    """Figure 12: SPEC outside the enclave (unconstrained memory)."""
+    results = sweep(by_suite("spec"), schemes=schemes, size=size,
+                    threads=1, config=SPEC_CONFIG.outside_sgx())
+    perf = overhead(results, metric="cycles")
+    text = report.overhead_table(
+        f"Figure 12: SPEC outside the enclave, performance overhead "
+        f"(size {size})", perf, schemes)
+    return {"perf": perf}, text
+
+
+# ---------------------------------------------------------------------------
+_APP_TABLE = {
+    "memcached": (memcached, False),
+    "apache": (apache, True),     # multi-threaded: one conn per worker
+    "nginx": (nginx, False),
+}
+
+
+def fig13_case_studies(n: str = "S", clients: Sequence[int] = (1, 2, 4),
+                       schemes: Sequence[str] = DEFAULT_SCHEMES
+                       ) -> Tuple[Dict, str]:
+    """Figure 13: server case studies — throughput/latency + peak memory."""
+    chunks = []
+    data: Dict[str, Dict] = {}
+    mem_rows = []
+    for app_name, (mod, threaded) in _APP_TABLE.items():
+        rows = []
+        data[app_name] = {}
+        for scheme in schemes:
+            best_tput = 0.0
+            best_mem = 0
+            for nclients in (clients if threaded else clients[:1]):
+                count = mod.SIZES[n]
+                requests = mod.workload(count)
+                if threaded:
+                    per = count // nclients
+                    by_conn = [requests[i * per:(i + 1) * per]
+                               for i in range(nclients)]
+                    threads = nclients
+                else:
+                    by_conn = [requests]
+                    threads = 1
+                r = run_server(mod.SOURCE, by_conn, scheme, count,
+                               threads=threads, config=APP_CONFIG,
+                               name=app_name)
+                served = r.result if r.ok else 0
+                tput = served / r.cycles * 1e6 if r.ok and r.cycles else 0.0
+                latency = r.cycles / served / 1000 if served else None
+                rows.append([scheme, nclients, None if not r.ok else tput,
+                             latency, r.crashed or "ok"])
+                if tput > best_tput:
+                    best_tput = tput
+                    best_mem = r.peak_reserved
+            mem_rows.append([app_name, scheme, best_mem / 1024.0])
+            data[app_name][scheme] = (best_tput, best_mem)
+        chunks.append(report.series_table(
+            f"Figure 13 ({app_name}): throughput (req/Mcycle) and latency "
+            f"(kcycles/req)", ["scheme", "clients", "tput", "latency",
+                               "status"], rows))
+    chunks.append(report.series_table(
+        "Figure 13 (right): memory usage (KiB) at peak throughput",
+        ["app", "scheme", "KiB"], mem_rows))
+    return data, "\n\n".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+def tab1_defenses() -> Tuple[Dict, str]:
+    """Table 1: the defense-classification table (static)."""
+    return {}, report.DEFENSE_TABLE

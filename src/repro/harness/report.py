@@ -1,0 +1,86 @@
+"""Report formatting: the paper's tables and figures as ASCII.
+
+Figures become tables of the same series the plots show (one row per
+workload, one column per scheme); the harness prints them and the
+benchmark files tee them into the experiment log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_cell(value: Optional[float]) -> str:
+    if value is None:
+        return "crash"
+    return f"{value:7.2f}x"
+
+
+def overhead_table(title: str,
+                   table: Dict[str, Dict[str, Optional[float]]],
+                   schemes: Sequence[str],
+                   gmean_row: bool = True) -> str:
+    """Render overhead[workload][scheme] with a geometric-mean footer."""
+    from repro.harness.runner import geomean
+    lines = [title, "=" * len(title)]
+    width = max((len(w) for w in table), default=8) + 2
+    header = " " * width + "".join(f"{s:>12}" for s in schemes)
+    lines.append(header)
+    for workload in sorted(table):
+        row = table[workload]
+        cells = "".join(f"{format_cell(row.get(s)):>12}" for s in schemes)
+        lines.append(f"{workload:<{width}}" + cells)
+    if gmean_row:
+        cells = ""
+        for s in schemes:
+            values = [row.get(s) for row in table.values()]
+            if any(v is None for v in values):
+                survivors = [v for v in values if v is not None]
+                cells += f"{format_cell(geomean(survivors)):>11}*"
+            else:
+                cells += f"{format_cell(geomean(values)):>12}"
+        lines.append(f"{'gmean':<{width}}" + cells)
+        if "*" in cells:
+            lines.append("(* = over surviving runs only; 'crash' bars are "
+                         "missing, as in the paper)")
+    return "\n".join(lines)
+
+
+def series_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Generic table for sweeps (Fig. 1/8/13, Table 3)."""
+    lines = [title, "=" * len(title)]
+    widths = [max(len(str(c)), 10) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_fmt(cell)))
+    lines.append("  ".join(f"{str(c):>{w}}" for c, w in zip(columns, widths)))
+    for row in rows:
+        lines.append("  ".join(f"{_fmt(cell):>{w}}"
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "crash"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+DEFENSE_TABLE = """\
+Table 1: Applicability of state-of-the-art defenses under shielded execution
+(CF = control-flow hijack, DO = data-only attack, IL = information leak)
+------------------------------------------------------------------------
+defense                               CF    DO    IL
+Control Flow Integrity                yes   no    no
+Code Pointer Integrity                yes   no    no
+Address Space Randomization           yes*  no    no
+Data Integrity                        yes   yes   no
+Data Flow Integrity                   yes   yes   no
+Software Fault Isolation              yes   yes   yes
+Data Space Randomization              yes*  yes*  yes*
+Memory safety (this work)             yes   yes   yes
+(* = insufficient entropy inside 36-bit SGX enclaves)
+"""

@@ -1,0 +1,187 @@
+"""Workload runner: compile → instrument → execute → collect metrics.
+
+One :class:`RunResult` per (workload, scheme, size, threads) cell, holding
+the paper's two metrics (cycles, peak reserved virtual memory) plus the
+diagnostic counters of Table 3 (LLC misses, EPC page faults, #BTs).
+A run that dies with ``OutOfMemory`` is recorded as crashed — that is the
+"missing MPX bar" in Figures 1 and 7, not an error in the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.asan import ASanScheme
+from repro.baggy import BaggyScheme
+from repro.core import SGXBoundsScheme
+from repro.errors import OutOfMemory, ReproError
+from repro.minic import compile_source
+from repro.mpx import MPXScheme
+from repro.sgx import Enclave, EnclaveConfig
+from repro.vm import VM
+from repro.vm.scheme import SchemeRuntime
+from repro.workloads import NetworkSim, Workload
+
+#: Scheme factories by registry name; kwargs forwarded to the constructor.
+SCHEMES: Dict[str, Callable[..., Optional[SchemeRuntime]]] = {
+    "native": lambda **kw: None,
+    "sgxbounds": SGXBoundsScheme,
+    "asan": ASanScheme,
+    "mpx": MPXScheme,
+    "baggy": BaggyScheme,      # §2.2 extension baseline (heap protection)
+}
+
+DEFAULT_SCHEMES = ("native", "sgxbounds", "asan", "mpx")
+
+
+class RunResult:
+    """Metrics from one execution."""
+
+    def __init__(self, workload: str, scheme: str, size: str, threads: int):
+        self.workload = workload
+        self.scheme = scheme
+        self.size = size
+        self.threads = threads
+        self.result: Optional[int] = None
+        self.crashed: Optional[str] = None     # "OOM" or exception name
+        self.cycles = 0
+        self.counters: Dict[str, int] = {}
+        self.peak_reserved = 0
+        self.scheme_report: Dict[str, int] = {}
+        self.output = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed is None
+
+    def __repr__(self) -> str:
+        state = self.crashed or f"cycles={self.cycles}"
+        return (f"RunResult({self.workload}/{self.scheme}/{self.size} "
+                f"{state})")
+
+
+def _finish(result: RunResult, vm: VM,
+            scheme: Optional[SchemeRuntime]) -> RunResult:
+    counters = vm.enclave.finalize()
+    result.cycles = counters.cycles
+    result.counters = counters.snapshot()
+    result.peak_reserved = vm.enclave.memory_report()["peak_reserved_bytes"]
+    if scheme is not None:
+        result.scheme_report = scheme.memory_overhead_report(vm)
+    result.output = vm.output()
+    return result
+
+
+def run_workload(workload: Workload, scheme_name: str,
+                 size: Optional[str] = None, threads: Optional[int] = None,
+                 config: Optional[EnclaveConfig] = None,
+                 scheme_kwargs: Optional[Dict] = None,
+                 max_instructions: int = 500_000_000) -> RunResult:
+    """Run one registered suite workload under one scheme."""
+    size = size or workload.default_size
+    args = workload.args_for(size, threads)
+    result = RunResult(workload.name, scheme_name, size, args[1])
+    scheme = SCHEMES[scheme_name](**(scheme_kwargs or {}))
+    module = compile_source(workload.source, workload.name)
+    module = scheme.instrument(module) if scheme else module.clone()
+    module.finalize()
+    enclave = Enclave(config) if config is not None else Enclave()
+    vm = VM(enclave=enclave, scheme=scheme,
+            max_instructions=max_instructions)
+    try:
+        vm.load(module)
+        result.result = vm.run("main", args)
+    except OutOfMemory:
+        result.crashed = "OOM"
+    except ReproError as err:
+        result.crashed = type(err).__name__
+    return _finish(result, vm, scheme)
+
+
+def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
+               scheme_name: str, n: int, threads: int = 1,
+               config: Optional[EnclaveConfig] = None,
+               scheme_kwargs: Optional[Dict] = None,
+               name: str = "server") -> RunResult:
+    """Run a network server app: requests pre-queued per connection."""
+    result = RunResult(name, scheme_name, "-", threads)
+    scheme = SCHEMES[scheme_name](**(scheme_kwargs or {}))
+    module = compile_source(source, name)
+    module = scheme.instrument(module) if scheme else module.clone()
+    module.finalize()
+    enclave = Enclave(config) if config is not None else Enclave()
+    vm = VM(enclave=enclave, scheme=scheme)
+    vm.net = NetworkSim()
+    for conn_requests in requests_by_conn:
+        vm.net.connect(*conn_requests)
+    try:
+        vm.load(module)
+        result.result = vm.run("main", (n, threads))
+    except OutOfMemory:
+        result.crashed = "OOM"
+    except ReproError as err:
+        result.crashed = type(err).__name__
+    out = _finish(result, vm, scheme)
+    out.net = vm.net
+    return out
+
+
+def sweep(workloads: Sequence[Workload],
+          schemes: Sequence[str] = DEFAULT_SCHEMES,
+          size: Optional[str] = None, threads: Optional[int] = None,
+          config: Optional[EnclaveConfig] = None,
+          scheme_kwargs: Optional[Dict[str, Dict]] = None
+          ) -> List[RunResult]:
+    """Cartesian sweep of workloads x schemes (one size)."""
+    results: List[RunResult] = []
+    for workload in workloads:
+        for scheme_name in schemes:
+            kwargs = (scheme_kwargs or {}).get(scheme_name)
+            results.append(run_workload(workload, scheme_name, size=size,
+                                        threads=threads, config=config,
+                                        scheme_kwargs=kwargs))
+    return results
+
+
+def overhead(results: Sequence[RunResult], metric: str = "cycles",
+             baseline: str = "native") -> Dict[str, Dict[str, Optional[float]]]:
+    """overhead[workload][scheme] = metric ratio vs the baseline scheme.
+
+    Crashed runs map to None (the paper's missing bars); verifies that
+    instrumented runs computed the same result as the baseline.
+    """
+    by_cell: Dict[str, Dict[str, RunResult]] = {}
+    for r in results:
+        by_cell.setdefault(f"{r.workload}:{r.size}:{r.threads}", {})[r.scheme] = r
+    table: Dict[str, Dict[str, Optional[float]]] = {}
+    for cell, per_scheme in by_cell.items():
+        base = per_scheme.get(baseline)
+        if base is None or not base.ok:
+            continue
+        row: Dict[str, Optional[float]] = {}
+        for scheme_name, r in per_scheme.items():
+            if not r.ok:
+                row[scheme_name] = None
+                continue
+            if r.result != base.result and scheme_name != baseline:
+                raise AssertionError(
+                    f"{cell}: {scheme_name} computed {r.result}, "
+                    f"native computed {base.result}")
+            base_value = getattr(base, metric) if metric != "peak_reserved" \
+                else base.peak_reserved
+            value = getattr(r, metric) if metric != "peak_reserved" \
+                else r.peak_reserved
+            row[scheme_name] = value / base_value if base_value else None
+        table[cell.split(":")[0]] = row
+    return table
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, the paper's cross-benchmark aggregate."""
+    clean = [v for v in values if v is not None and v > 0]
+    if not clean:
+        return float("nan")
+    product = 1.0
+    for v in clean:
+        product *= v
+    return product ** (1.0 / len(clean))

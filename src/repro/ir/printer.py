@@ -1,0 +1,98 @@
+"""Textual IR dump — the reproduction's analogue of ``llvm-dis``.
+
+Used by tests and by ``examples/instrumentation_tour.py`` to show the
+paper's Figure 4 side by side: the same kernel before and after each
+scheme's instrumentation pass.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir import instructions as ops
+from repro.ir.instructions import Instr, is_reg, slot_of
+from repro.ir.module import Function, Module
+
+
+def _operand_str(fn: Function, operand) -> str:
+    if operand is None:
+        return "_"
+    if is_reg(operand):
+        return f"%r{operand}"
+    value = fn.consts[slot_of(operand)]
+    if isinstance(value, float):
+        return f"{value!r}"
+    if isinstance(value, int):
+        return f"{value}" if -4096 < value < 4096 else f"0x{value & (2**64-1):x}"
+    return repr(value)
+
+
+def format_instr(fn: Function, ins: Instr) -> str:
+    name = ops.OP_NAMES.get(ins.op, f"op{ins.op}")
+    parts: List[str] = []
+    if ins.dest is not None:
+        parts.append(f"%r{ins.dest} =")
+    parts.append(name)
+    if ins.op == ops.CALL:
+        callee = ins.name if ins.name else _operand_str(fn, ins.a)
+        args = ", ".join(_operand_str(fn, a) for a in ins.args)
+        parts.append(f"{callee}({args})")
+    elif ins.op in (ops.BR,):
+        parts.append(f"{_operand_str(fn, ins.a)}, {ins.t1}, {ins.t2}")
+    elif ins.op == ops.JMP:
+        parts.append(f"{ins.t1}")
+    elif ins.op == ops.LOAD:
+        kind = "f64" if ins.is_float else f"{'i' if ins.signed else 'u'}{ins.size * 8}"
+        ptr = " ptr" if ins.is_pointer else ""
+        parts.append(f"{kind} [{_operand_str(fn, ins.a)}]{ptr}")
+    elif ins.op == ops.STORE:
+        kind = "f64" if ins.is_float else f"u{ins.size * 8}"
+        ptr = " ptr" if ins.is_pointer else ""
+        parts.append(
+            f"{kind} {_operand_str(fn, ins.b)} -> [{_operand_str(fn, ins.a)}]{ptr}")
+    elif ins.op == ops.GEP:
+        text = _operand_str(fn, ins.a)
+        if ins.b is not None:
+            text += f" + {_operand_str(fn, ins.b)}*{ins.size}"
+        if ins.c:
+            text += f" + {ins.c}"
+        if ins.clamp:
+            text += "  (clamp32)"
+        parts.append(text)
+    elif ins.op == ops.ALLOCA:
+        parts.append(f"{ins.size} bytes, align {ins.b}")
+    elif ins.op == ops.TRAP:
+        parts.append(repr(ins.name))
+    else:
+        operands = [
+            _operand_str(fn, x) for x in (ins.a, ins.b, ins.c) if x is not None]
+        if operands:
+            parts.append(", ".join(operands))
+        if ins.op in (ops.TRUNC, ops.SEXT):
+            parts.append(f"(size {ins.size})")
+    text = " ".join(parts)
+    if ins.safe:
+        text += "   ; safe"
+    if ins.comment:
+        text += f"   ; {ins.comment}"
+    return text
+
+
+def print_function(fn: Function) -> str:
+    lines = [f"define {fn.name}({', '.join(f'%r{i}' for i in range(len(fn.params)))}) {{"]
+    for blk in fn.blocks:
+        lines.append(f"{blk.name}:")
+        for ins in blk.instrs:
+            lines.append(f"  {format_instr(fn, ins)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    chunks = [f"; module {module.name}"]
+    for var in module.globals.values():
+        const = " const" if var.is_const else ""
+        chunks.append(f"@{var.name} = global {var.size} bytes{const}")
+    for fn in module.functions.values():
+        chunks.append(print_function(fn))
+    return "\n\n".join(chunks)

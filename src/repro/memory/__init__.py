@@ -1,0 +1,35 @@
+"""Simulated 32-bit enclave memory: address space, layout and allocators."""
+
+from repro.memory.address_space import (
+    AddressSpace,
+    PERM_GUARD,
+    PERM_NONE,
+    PERM_READ,
+    PERM_RW,
+    PERM_WRITE,
+    Region,
+)
+from repro.memory.allocator import (
+    BuddyAllocator,
+    FreeListAllocator,
+    MMAP_THRESHOLD,
+    MmapAllocator,
+    PoolAllocator,
+)
+from repro.memory import layout
+
+__all__ = [
+    "AddressSpace",
+    "Region",
+    "PERM_NONE",
+    "PERM_READ",
+    "PERM_WRITE",
+    "PERM_RW",
+    "PERM_GUARD",
+    "FreeListAllocator",
+    "MmapAllocator",
+    "BuddyAllocator",
+    "PoolAllocator",
+    "MMAP_THRESHOLD",
+    "layout",
+]

@@ -1,0 +1,199 @@
+"""MiniC type system.
+
+Deliberately small C dialect: ``char`` is a signed byte, ``int``/``uint``
+are 64-bit (the workloads don't depend on 32-bit wraparound, and 64-bit
+ints are what tagged pointers get cast to — paper §3.2 "Type casts"),
+``double`` is IEEE f64, ``fnptr`` is an opaque function pointer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.memory.layout import align_up
+
+
+class CType:
+    """Base class; every type knows its size and alignment."""
+
+    size: int = 0
+    align: int = 1
+
+    def is_integer(self) -> bool:
+        return False
+
+    def is_float(self) -> bool:
+        return False
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_arith(self) -> bool:
+        return self.is_integer() or self.is_float()
+
+    def is_void(self) -> bool:
+        return False
+
+    def is_signed(self) -> bool:
+        return False
+
+
+class Basic(CType):
+    __slots__ = ("kind", "size", "align", "signed")
+
+    def __init__(self, kind: str, size: int, signed: bool):
+        self.kind = kind
+        self.size = size
+        self.align = size if size else 1
+        self.signed = signed
+
+    def is_integer(self) -> bool:
+        return self.kind in ("char", "int", "uint", "fnptr")
+
+    def is_float(self) -> bool:
+        return self.kind == "double"
+
+    def is_void(self) -> bool:
+        return self.kind == "void"
+
+    def is_signed(self) -> bool:
+        return self.signed
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Basic) and other.kind == self.kind
+
+    def __hash__(self) -> int:
+        return hash(self.kind)
+
+    def __repr__(self) -> str:
+        return self.kind
+
+
+VOID = Basic("void", 0, False)
+CHAR = Basic("char", 1, True)
+INT = Basic("int", 8, True)
+UINT = Basic("uint", 8, False)
+DOUBLE = Basic("double", 8, True)
+FNPTR = Basic("fnptr", 8, False)
+
+
+class Pointer(CType):
+    __slots__ = ("pointee",)
+    size = 8
+    align = 8
+
+    def __init__(self, pointee: CType):
+        self.pointee = pointee
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Pointer) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+class Array(CType):
+    __slots__ = ("elem", "count", "size", "align")
+
+    def __init__(self, elem: CType, count: int):
+        if count <= 0:
+            raise CompileError(f"array of non-positive size {count}")
+        self.elem = elem
+        self.count = count
+        self.size = elem.size * count
+        self.align = elem.align
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Array) and other.elem == self.elem
+                and other.count == self.count)
+
+    def __hash__(self) -> int:
+        return hash(("arr", self.elem, self.count))
+
+    def __repr__(self) -> str:
+        return f"{self.elem!r}[{self.count}]"
+
+
+class Struct(CType):
+    """A named struct; fields are laid out with natural alignment."""
+
+    __slots__ = ("name", "fields", "offsets", "size", "align", "complete")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: List[Tuple[str, CType]] = []
+        self.offsets: Dict[str, int] = {}
+        self.size = 0
+        self.align = 1
+        self.complete = False
+
+    def define(self, fields: List[Tuple[str, CType]]) -> None:
+        if self.complete:
+            raise CompileError(f"struct {self.name} redefined")
+        offset = 0
+        align = 1
+        for fname, ftype in fields:
+            if ftype.size == 0:
+                raise CompileError(
+                    f"struct {self.name}: field {fname} has incomplete type")
+            offset = align_up(offset, ftype.align)
+            self.offsets[fname] = offset
+            offset += ftype.size
+            align = max(align, ftype.align)
+        self.fields = list(fields)
+        self.size = align_up(max(offset, 1), align)
+        self.align = align
+        self.complete = True
+
+    def field_type(self, name: str) -> CType:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise CompileError(f"struct {self.name} has no field {name!r}")
+
+    def __repr__(self) -> str:
+        return f"struct {self.name}"
+
+
+def decay(ctype: CType) -> CType:
+    """Array-to-pointer decay."""
+    if isinstance(ctype, Array):
+        return Pointer(ctype.elem)
+    return ctype
+
+
+def common_arith(a: CType, b: CType) -> CType:
+    """Usual arithmetic conversions (simplified)."""
+    if a.is_float() or b.is_float():
+        return DOUBLE
+    if a == UINT or b == UINT:
+        return UINT
+    return INT
+
+
+def assignable(dst: CType, src: CType) -> bool:
+    """Whether ``src`` implicitly converts to ``dst`` (lenient, C-style)."""
+    dst = decay(dst)
+    src = decay(src)
+    if dst == src:
+        return True
+    if dst.is_arith() and src.is_arith():
+        return True
+    if dst.is_pointer() and src.is_pointer():
+        return True   # all pointer casts are implicit, like messy real C
+    if dst.is_pointer() and src.is_integer():
+        return True   # int->ptr (the paper's tagged-pointer casts)
+    if dst.is_integer() and src.is_pointer():
+        return True   # ptr->int
+    if dst == FNPTR and (src == FNPTR or src.is_pointer() or src.is_integer()):
+        return True
+    if src == FNPTR and (dst.is_pointer() or dst.is_integer()):
+        return True
+    return False

@@ -1,0 +1,175 @@
+"""MiniC lexer.
+
+MiniC is the C-like language the reproduction's workloads are written in
+(the paper's "unmodified legacy applications").  The lexer produces a flat
+token stream with line/column positions for error reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "void", "char", "int", "uint", "double", "struct", "fnptr",
+    "if", "else", "while", "for", "do", "break", "continue", "return",
+    "sizeof", "const", "static",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+class Token(NamedTuple):
+    kind: str      # 'kw', 'ident', 'int', 'float', 'str', 'char', 'op', 'eof'
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into tokens, raising CompileError on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def position() -> tuple:
+        return line, i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", *position())
+            for j in range(i, end):
+                if source[j] == "\n":
+                    line += 1
+                    line_start = j + 1
+            i = end + 2
+            continue
+        ln, col = position()
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                tokens.append(Token("int", int(source[i:j], 16), ln, col))
+                i = j
+                continue
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    is_float = True
+                j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(Token("float", float(text), ln, col))
+            else:
+                tokens.append(Token("int", int(text), ln, col))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, ln, col))
+            i = j
+            continue
+        if ch == '"':
+            value = bytearray()
+            j = i + 1
+            while j < n and source[j] != '"':
+                c = source[j]
+                if c == "\\":
+                    j += 1
+                    if j >= n:
+                        break
+                    esc = source[j]
+                    if esc == "x":
+                        value.append(int(source[j + 1:j + 3], 16))
+                        j += 2
+                    elif esc in _ESCAPES:
+                        value.append(_ESCAPES[esc])
+                    else:
+                        raise CompileError(f"bad escape \\{esc}", ln, col)
+                elif c == "\n":
+                    raise CompileError("newline in string literal", ln, col)
+                else:
+                    value.append(ord(c))
+                j += 1
+            if j >= n:
+                raise CompileError("unterminated string literal", ln, col)
+            tokens.append(Token("str", bytes(value), ln, col))
+            i = j + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                esc = source[j + 1]
+                if esc == "x":
+                    value = int(source[j + 2:j + 4], 16)
+                    j += 4
+                elif esc in _ESCAPES:
+                    value = _ESCAPES[esc]
+                    j += 2
+                else:
+                    raise CompileError(f"bad escape \\{esc}", ln, col)
+            elif j < n:
+                value = ord(source[j])
+                j += 1
+            else:
+                raise CompileError("unterminated char literal", ln, col)
+            if j >= n or source[j] != "'":
+                raise CompileError("unterminated char literal", ln, col)
+            tokens.append(Token("char", value, ln, col))
+            i = j + 1
+            continue
+        for operator in _OPERATORS:
+            if source.startswith(operator, i):
+                tokens.append(Token("op", operator, ln, col))
+                i += len(operator)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", ln, col)
+    tokens.append(Token("eof", None, line, 1))
+    return tokens

@@ -1,0 +1,5 @@
+"""Intel MPX baseline (hardware bounds registers + bounds tables)."""
+
+from repro.mpx.runtime import BT_ENTRY_SIZE, MPXScheme, SLOT_SIZE
+
+__all__ = ["MPXScheme", "BT_ENTRY_SIZE", "SLOT_SIZE"]

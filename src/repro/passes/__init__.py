@@ -1,0 +1,15 @@
+"""Compiler passes: instrumentation (SGXBounds/ASan/MPX) + optimizations."""
+
+from repro.passes.instrument_asan import run_asan_instrumentation
+from repro.passes.instrument_mpx import run_mpx_instrumentation
+from repro.passes.instrument_sgxbounds import run_sgxbounds_instrumentation
+from repro.passes.loop_hoist import run_loop_hoist
+from repro.passes.safe_access import run_safe_access
+
+__all__ = [
+    "run_sgxbounds_instrumentation",
+    "run_asan_instrumentation",
+    "run_mpx_instrumentation",
+    "run_safe_access",
+    "run_loop_hoist",
+]

@@ -1,0 +1,110 @@
+"""Intel MPX instrumentation pass (paper §2.2, Figure 4c).
+
+Inserted operations:
+
+* ``bndmk`` after every object creation whose address enters a register
+  (allocas, global address materializations) and implicitly for heap
+  allocations (the malloc wrapper returns bounds);
+* ``bndcl``/``bndcu`` before every unsafe memory access, checking the
+  pointer against the bounds associated with its register;
+* ``bndldx``/``bndstx`` around every load/store *of a pointer value*, so
+  bounds travel through memory via the Bounds Directory/Bounds Tables —
+  Figure 4c lines 11 and 15, the part AddressSanitizer and SGXBounds
+  don't need and the source of MPX's enclave pathologies.
+
+Note the multithreading hazard the paper highlights (§4.1): the pointer
+store and its ``bndstx`` are two separate instructions, so a thread switch
+between them publishes a pointer whose in-memory bounds are stale.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir import ops
+from repro.ir.instructions import GlobalRef, Instr, is_reg, slot_of
+from repro.ir.module import Block, Function, Module
+
+_ACCESS_OPS = (ops.LOAD, ops.STORE, ops.ATOMICRMW, ops.CMPXCHG)
+
+
+def _global_size(fn: Function, module: Module, operand) -> int:
+    if operand is None or is_reg(operand):
+        return -1
+    value = fn.consts[slot_of(operand)]
+    if isinstance(value, GlobalRef):
+        return module.globals[value.name].size
+    return -1
+
+
+#: Architectural bounds registers; functions juggling more pointer roots
+#: than this pay spill traffic on every check (extra uops per bndcl/bndcu).
+BND_REGISTERS = 4
+SPILL_UOPS = 3
+
+
+def _instrument_function(fn: Function, module: Module) -> int:
+    # Count distinct checked pointer roots to estimate register pressure.
+    roots = set()
+    for blk in fn.blocks:
+        for ins in blk.instrs:
+            if ins.op in _ACCESS_OPS and not ins.safe and is_reg(ins.a):
+                roots.add(ins.a)
+    spill = SPILL_UOPS if len(roots) > BND_REGISTERS else 0
+    checks = 0
+    for blk in fn.blocks:
+        out: List[Instr] = []
+        for ins in blk.instrs:
+            if ins.op == ops.ALLOCA:
+                out.append(ins)
+                out.append(Instr(ops.BNDMK, dest=ins.dest, a=ins.dest,
+                                 b=fn.intern_const(ins.size),
+                                 comment="stack object bounds"))
+                continue
+            if ins.op == ops.MOV:
+                size = _global_size(fn, module, ins.a)
+                out.append(ins)
+                if size >= 0:
+                    out.append(Instr(ops.BNDMK, dest=ins.dest, a=ins.dest,
+                                     b=fn.intern_const(size),
+                                     comment="global object bounds"))
+                continue
+            if ins.op in _ACCESS_OPS:
+                if not ins.safe and is_reg(ins.a):
+                    out.append(Instr(ops.BNDCL, dest=ins.a, a=ins.a,
+                                     c=spill))
+                    out.append(Instr(ops.BNDCU, dest=ins.a, a=ins.a,
+                                     size=ins.size, c=spill))
+                    checks += 1
+                out.append(ins)
+                # Bounds travel with pointers through memory (Fig. 4c).
+                if ins.op == ops.LOAD and ins.is_pointer \
+                        and ins.dest is not None:
+                    out.append(Instr(ops.BNDLDX, dest=ins.dest, a=ins.a,
+                                     comment="load pointer bounds"))
+                elif ins.op == ops.STORE and ins.is_pointer:
+                    value = ins.b
+                    if is_reg(value):
+                        out.append(Instr(ops.BNDSTX, dest=value, a=ins.a,
+                                         comment="store pointer bounds"))
+                    else:
+                        size = _global_size(fn, module, value)
+                        if size >= 0:
+                            tmp = fn.new_reg("mpx_g")
+                            out.append(Instr(ops.MOV, dest=tmp, a=value))
+                            out.append(Instr(ops.BNDMK, dest=tmp, a=tmp,
+                                             b=fn.intern_const(size)))
+                            out.append(Instr(ops.BNDSTX, dest=tmp, a=ins.a))
+                continue
+            out.append(ins)
+        blk.instrs = out
+    return checks
+
+
+def run_mpx_instrumentation(module: Module) -> Module:
+    total = 0
+    for fn in module.functions.values():
+        total += _instrument_function(fn, module)
+    module.meta["scheme"] = "mpx"
+    module.meta["checks_inserted"] = total
+    return module

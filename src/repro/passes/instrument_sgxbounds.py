@@ -1,0 +1,205 @@
+"""SGXBounds instrumentation pass (paper §3, Figure 4d).
+
+Per function this pass:
+
+* rewrites every stack allocation to append the 4-byte lower-bound word
+  and produce a *tagged* pointer (``specify_bounds`` inlined as IR);
+* clamps pointer arithmetic to the low 32 bits so attacker-controlled
+  offsets cannot corrupt the in-pointer upper bound (§3.2);
+* inserts the bounds check of Figure 4d before every load/store/atomic:
+  extract pointer and upper bound, compare, load the lower bound from
+  ``[UB]``, compare — violations branch to a slow-path call that either
+  crashes (fail-stop) or redirects to the boundless-memory overlay (§4.2);
+* materializes hoisted loop checks requested by the loop-hoist pass.
+
+Accesses marked ``safe`` by the safe-access analysis are skipped
+(checks-elided counter in module meta), and type casts need *no*
+instrumentation — tagged pointers survive int<->pointer casts by design.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.tagged_pointer import METADATA_SIZE, M32
+from repro.ir import ops
+from repro.ir.instructions import Instr
+from repro.ir.module import Block, Function, Module
+
+#: Name of the slow-path native provided by the SGXBounds runtime.
+VIOLATION_HANDLER = "__sgxbounds_violation"
+STACK_CREATE_HOOK = "__sgxbounds_stack_create"
+
+_ACCESS_OPS = (ops.LOAD, ops.STORE, ops.ATOMICRMW, ops.CMPXCHG)
+
+
+class _FunctionInstrumenter:
+    def __init__(self, fn: Function, extra_metadata: int,
+                 stack_hooks: bool):
+        self.fn = fn
+        self.extra = extra_metadata
+        self.stack_hooks = stack_hooks
+        self.counter = 0
+        self.checks = 0
+        self.elided = 0
+
+    def fresh(self, hint: str) -> str:
+        self.counter += 1
+        return f"__sb_{hint}{self.counter}"
+
+    # -- alloca ---------------------------------------------------------
+    def tag_alloca(self, out: List[Instr], ins: Instr) -> None:
+        """alloca n  ->  tagged pointer with LB word appended (§3.2)."""
+        fn = self.fn
+        orig_size = ins.size
+        raw = fn.new_reg("sb_raw")
+        lb_addr = fn.new_reg("sb_lb")
+        shifted = fn.new_reg("sb_sh")
+        out.append(Instr(ops.ALLOCA, dest=raw,
+                         size=orig_size + METADATA_SIZE + self.extra + 4,
+                         b=ins.b, safe=True, comment="sgxbounds: +metadata"))
+        out.append(Instr(ops.GEP, dest=lb_addr, a=raw, c=orig_size,
+                         size=1, safe=True, comment="UB = base + size"))
+        out.append(Instr(ops.STORE, a=lb_addr, b=raw, size=4, safe=True,
+                         comment="*UB = LB"))
+        out.append(Instr(ops.SHL, dest=shifted, a=lb_addr,
+                         b=fn.intern_const(32)))
+        out.append(Instr(ops.OR, dest=ins.dest, a=shifted, b=raw,
+                         comment="tagged = (UB<<32)|p"))
+        if self.stack_hooks:
+            out.append(Instr(ops.CALL, name=STACK_CREATE_HOOK,
+                             args=(ins.dest, fn.intern_const(orig_size)),
+                             safe=True))
+
+    # -- per-access check -----------------------------------------------
+    def check_access(self, blocks: List[Block], cur: Block,
+                     ins: Instr) -> Block:
+        """Emit Figure 4d's check before ``ins``; returns the continuation
+        block that now holds the (rewritten) access."""
+        fn = self.fn
+        pointer = ins.a
+        size_const = fn.intern_const(ins.size)
+        t_ub = fn.new_reg("sb_ub")
+        t_ad = fn.new_reg("sb_ad")
+        t_end = fn.new_reg("sb_end")
+        t_c1 = fn.new_reg("sb_c1")
+        lb_name = self.fresh("lb")
+        slow_name = self.fresh("slow")
+        ok_name = self.fresh("ok")
+        is_write = 0 if ins.op == ops.LOAD else 1
+
+        cur.instrs.append(Instr(ops.LSHR, dest=t_ub, a=pointer,
+                                b=fn.intern_const(32),
+                                comment="extract UB"))
+        cur.instrs.append(Instr(ops.AND, dest=t_ad, a=pointer,
+                                b=fn.intern_const(M32), comment="extract p"))
+        cur.instrs.append(Instr(ops.ADD, dest=t_end, a=t_ad, b=size_const))
+        cur.instrs.append(Instr(ops.UGT, dest=t_c1, a=t_end, b=t_ub))
+        cur.instrs.append(Instr(ops.BR, a=t_c1, t1=slow_name, t2=lb_name,
+                                comment="upper-bound check"))
+
+        lb_blk = Block(lb_name)
+        t_lb = fn.new_reg("sb_lbv")
+        t_c2 = fn.new_reg("sb_c2")
+        lb_blk.instrs.append(Instr(ops.LOAD, dest=t_lb, a=t_ub, size=4,
+                                   safe=True, comment="LB = *UB"))
+        lb_blk.instrs.append(Instr(ops.ULT, dest=t_c2, a=t_ad, b=t_lb))
+        lb_blk.instrs.append(Instr(ops.BR, a=t_c2, t1=slow_name, t2=ok_name,
+                                   comment="lower-bound check"))
+
+        slow_blk = Block(slow_name)
+        slow_blk.instrs.append(Instr(
+            ops.CALL, dest=t_ad, name=VIOLATION_HANDLER,
+            args=(pointer, size_const, fn.intern_const(is_write)),
+            safe=True, comment="crash or boundless redirect"))
+        slow_blk.instrs.append(Instr(ops.JMP, t1=ok_name))
+
+        ok_blk = Block(ok_name)
+        access = ins.copy()
+        access.a = t_ad
+        access.safe = True
+        ok_blk.instrs.append(access)
+
+        blocks.extend((lb_blk, slow_blk, ok_blk))
+        self.checks += 1
+        return ok_blk
+
+    # -- hoisted checks -----------------------------------------------------
+    def emit_hoisted(self, blocks_by_name) -> None:
+        for request in getattr(self.fn, "hoist_requests", ()):
+            pre = blocks_by_name.get(request.preheader)
+            if pre is None:
+                continue
+            fn = self.fn
+            t_ub = fn.new_reg("sb_hub")
+            t_ad = fn.new_reg("sb_had")
+            t_len = fn.new_reg("sb_hlen")
+            t_end = fn.new_reg("sb_hend")
+            t_bad = fn.new_reg("sb_hbad")
+            seq = [
+                Instr(ops.LSHR, dest=t_ub, a=request.base,
+                      b=fn.intern_const(32), comment="hoisted check"),
+                Instr(ops.AND, dest=t_ad, a=request.base,
+                      b=fn.intern_const(M32)),
+                Instr(ops.MUL, dest=t_len, a=request.bound,
+                      b=fn.intern_const(request.scale)),
+                Instr(ops.ADD, dest=t_end, a=t_ad, b=t_len),
+                Instr(ops.UGT, dest=t_bad, a=t_end, b=t_ub),
+            ]
+            ok_name = self.fresh("hok")
+            slow_name = self.fresh("hslow")
+            ok_blk = Block(ok_name)
+            ok_blk.instrs = pre.instrs    # the original preheader body (JMP)
+            slow_blk = Block(slow_name)
+            dummy = fn.new_reg("sb_hdump")
+            slow_blk.instrs.append(Instr(
+                ops.CALL, dest=dummy, name=VIOLATION_HANDLER,
+                args=(request.base, t_len, fn.intern_const(1)), safe=True,
+                comment="hoisted check failed"))
+            slow_blk.instrs.append(Instr(ops.JMP, t1=ok_name))
+            pre.instrs = seq + [Instr(ops.BR, a=t_bad, t1=slow_name,
+                                      t2=ok_name)]
+            index = self.fn.blocks.index(pre)
+            self.fn.blocks.insert(index + 1, slow_blk)
+            self.fn.blocks.insert(index + 2, ok_blk)
+
+    # -- driver ----------------------------------------------------------------
+    def run(self) -> None:
+        fn = self.fn
+        new_blocks: List[Block] = []
+        for blk in fn.blocks:
+            cur = Block(blk.name)
+            new_blocks.append(cur)
+            for ins in blk.instrs:
+                if ins.op == ops.ALLOCA and not ins.safe:
+                    self.tag_alloca(cur.instrs, ins)
+                    continue
+                if ins.op == ops.GEP:
+                    if not ins.safe:
+                        ins.clamp = True
+                    cur.instrs.append(ins)
+                    continue
+                if ins.op in _ACCESS_OPS and not ins.safe:
+                    cur = self.check_access(new_blocks, cur, ins)
+                    continue
+                if ins.op in _ACCESS_OPS and ins.safe:
+                    self.elided += 1
+                cur.instrs.append(ins)
+        fn.blocks = new_blocks
+        self.emit_hoisted({blk.name: blk for blk in new_blocks})
+
+
+def run_sgxbounds_instrumentation(module: Module, extra_metadata: int = 0,
+                                  stack_hooks: bool = False) -> Module:
+    """Instrument ``module`` in place; returns it for chaining."""
+    total_checks = 0
+    total_elided = 0
+    for fn in module.functions.values():
+        worker = _FunctionInstrumenter(fn, extra_metadata, stack_hooks)
+        worker.run()
+        total_checks += worker.checks
+        total_elided += worker.elided
+    module.meta["scheme"] = "sgxbounds"
+    module.meta["checks_inserted"] = total_checks
+    module.meta["checks_elided"] = total_elided
+    return module

@@ -1,0 +1,17 @@
+"""Simulated Intel SGX: enclave, EPC residency, caches, cost model."""
+
+from repro.sgx.cache import Cache, CacheHierarchy, LINE_SIZE
+from repro.sgx.counters import CostModel, PerfCounters
+from repro.sgx.enclave import Enclave, EnclaveConfig
+from repro.sgx.epc import EPC
+
+__all__ = [
+    "Enclave",
+    "EnclaveConfig",
+    "EPC",
+    "Cache",
+    "CacheHierarchy",
+    "LINE_SIZE",
+    "CostModel",
+    "PerfCounters",
+]

@@ -1,0 +1,106 @@
+"""The simulated SGX enclave: address space + cache hierarchy + EPC + costs.
+
+An :class:`Enclave` is the "machine" a shielded program runs on.  It owns
+the 32-bit address space (starting at 0x0, as SGXBounds requires — paper
+§5.1), installs a tracer that charges every data access through the cache
+and EPC models, and reports the paper's two headline metrics: cycles
+(performance) and peak reserved virtual memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.memory.address_space import AddressSpace, PERM_GUARD
+from repro.memory.allocator import FreeListAllocator
+from repro.memory.layout import GUARD_PAGE_BASE, PAGE_SHIFT, PAGE_SIZE
+from repro.sgx.cache import CacheHierarchy
+from repro.sgx.counters import CostModel, PerfCounters
+from repro.sgx.epc import EPC
+
+
+@dataclass(frozen=True)
+class EnclaveConfig:
+    """Machine parameters.
+
+    The simulation runs at roughly 1/1000 the scale of the paper's testbed
+    (working sets of tens of KiB to a few MiB instead of tens of MiB to
+    GiB), so cache and EPC sizes are scaled the same way; the *ratios*
+    between working set, caches and EPC are what reproduce the paper's
+    crossover behaviour.
+    """
+
+    l1_bytes: int = 16 * 1024
+    llc_bytes: int = 256 * 1024
+    epc_bytes: int = 4 * 1024 * 1024
+    enclave: bool = True          # False = unconstrained (Fig. 12 mode)
+    #: Committed-memory budget (0 = unlimited); metadata blow-ups past this
+    #: raise OutOfMemory, reproducing MPX's in-enclave crashes.
+    commit_limit_bytes: int = 0
+    cost: CostModel = field(default_factory=CostModel)
+    #: Fraction of accesses sampled through the cache/EPC model (1 = all).
+    #: Lowering it speeds large sweeps up; counters are scaled back up.
+    sample_shift: int = 0
+
+    def outside_sgx(self) -> "EnclaveConfig":
+        """The same machine without EPC/MEE constraints (Fig. 12)."""
+        return replace(self, enclave=False)
+
+    def with_epc(self, epc_bytes: int) -> "EnclaveConfig":
+        return replace(self, epc_bytes=epc_bytes)
+
+
+class Enclave:
+    """One shielded execution environment."""
+
+    def __init__(self, config: Optional[EnclaveConfig] = None):
+        self.config = config or EnclaveConfig()
+        self.space = AddressSpace(
+            commit_limit=self.config.commit_limit_bytes
+            if self.config.enclave else 0)
+        self.heap = FreeListAllocator(self.space)
+        self.caches = CacheHierarchy(self.config.l1_bytes, self.config.llc_bytes)
+        self.epc = EPC(self.config.epc_bytes) if self.config.enclave else None
+        self.counters = PerfCounters()
+        # The unaddressable last page (paper §4.4) protects hoisted checks.
+        self.space.map(GUARD_PAGE_BASE, PAGE_SIZE, PERM_GUARD, "guard")
+        self.space.tracer = self._trace
+
+    # ------------------------------------------------------------------
+    def _trace(self, address: int, size: int, is_write: bool) -> None:
+        counters = self.counters
+        if is_write:
+            counters.stores += 1
+        else:
+            counters.loads += 1
+        depth = self.caches.access(address, size, counters)
+        if depth == 2 and self.epc is not None:
+            counters.mee_decrypts += 1
+            if self.epc.touch(address >> PAGE_SHIFT):
+                counters.epc_faults += 1
+
+    # ------------------------------------------------------------------
+    def cycles(self) -> int:
+        """Total cycles implied by the counters under this cost model."""
+        return self.config.cost.cycles_for(self.counters, self.config.enclave)
+
+    def finalize(self) -> PerfCounters:
+        """Freeze the cycle total into the counters and return them."""
+        self.counters.cycles = self.cycles()
+        return self.counters
+
+    def memory_report(self) -> Dict[str, int]:
+        """Virtual-memory metrics, the paper's memory-overhead measure."""
+        stats = self.space.stats()
+        report = {
+            "peak_reserved_bytes": stats["peak_reserved"],
+            "reserved_bytes": stats["reserved_bytes"],
+            "materialized_bytes": stats["materialized_pages"] * PAGE_SIZE,
+            "heap_bytes": self.heap.heap_bytes(),
+        }
+        if self.epc is not None:
+            report["epc_capacity_pages"] = self.epc.capacity_pages
+            report["epc_peak_resident"] = self.epc.peak_resident
+            report["epc_pages_touched"] = len(self.epc.pages_touched)
+        return report

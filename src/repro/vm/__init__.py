@@ -1,0 +1,16 @@
+"""The virtual machine: interpreter, loader, schemes, natives, libc."""
+
+from repro.vm.loader import Program, load_program
+from repro.vm.machine import BLOCK_RETRY, NativeResult, VM, run_module
+from repro.vm.scheme import NativeScheme, SchemeRuntime
+
+__all__ = [
+    "VM",
+    "run_module",
+    "Program",
+    "load_program",
+    "SchemeRuntime",
+    "NativeScheme",
+    "NativeResult",
+    "BLOCK_RETRY",
+]

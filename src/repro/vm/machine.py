@@ -1,0 +1,715 @@
+"""The virtual machine executing IR programs inside a simulated enclave.
+
+Design notes relevant to the reproduction:
+
+* Every load/store goes through the enclave's traced address space, so the
+  cache/EPC cost model sees *all* memory traffic — including metadata
+  traffic inserted by instrumentation (shadow bytes, bounds tables,
+  lower-bound words).  That is precisely where the paper's results come
+  from.
+* Addresses are masked to 32 bits on dereference: the enclave address
+  space is 32-bit and tagged pointers carry their upper bound in the high
+  half (paper §3.1); hardware would translate only the low bits.
+* Return addresses live in simulated stack memory, so stack-smashing
+  attacks (RIPE, CVE-2013-2028) are expressible: a corrupted return slot
+  either hijacks control flow (attack succeeds) or crashes.
+* Threads are deterministic cooperative threads scheduled round-robin with
+  a configurable instruction quantum — fine-grained enough to reproduce
+  MPX's pointer/bounds-metadata race (paper §4.1, Fig. 4c).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    BoundsViolation,
+    ControlFlowHijack,
+    ProgramExit,
+    SegmentationFault,
+    TrapError,
+    VMError,
+)
+from repro.ir import instructions as ops
+from repro.ir.module import Function, Module
+from repro.memory.layout import (
+    ADDRESS_MASK,
+    DEFAULT_STACK_SIZE,
+    PAGE_SIZE,
+    STACK_REGION_BASE,
+    STACK_TOP,
+    in_code_region,
+)
+from repro.sgx.cache import LINE_SIZE
+from repro.sgx.enclave import Enclave
+from repro.vm.loader import Program, load_program
+from repro.vm.scheme import SchemeRuntime
+
+M64 = (1 << 64) - 1
+M32 = 0xFFFFFFFF
+HI32 = M64 ^ M32
+_SIGN64 = 1 << 63
+
+#: Sentinel a native returns to mean "re-execute this call when unblocked".
+BLOCK_RETRY = object()
+
+
+class NativeResult:
+    """Native return value carrying MPX-style bounds for the result."""
+
+    __slots__ = ("value", "bounds")
+
+    def __init__(self, value: int, bounds: Optional[Tuple[int, int]] = None):
+        self.value = value
+        self.bounds = bounds
+
+
+def _s64(x: int) -> int:
+    return x - (1 << 64) if x & _SIGN64 else x
+
+
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        raise TrapError("integer division by zero")
+    sa, sb = _s64(a), _s64(b)
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return q & M64
+
+
+def _srem(a: int, b: int) -> int:
+    if b == 0:
+        raise TrapError("integer remainder by zero")
+    sa, sb = _s64(a), _s64(b)
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return r & M64
+
+
+def _udiv(a: int, b: int) -> int:
+    if b == 0:
+        raise TrapError("integer division by zero")
+    return a // b
+
+
+def _urem(a: int, b: int) -> int:
+    if b == 0:
+        raise TrapError("integer remainder by zero")
+    return a % b
+
+
+_BIN = {
+    ops.ADD: lambda a, b: (a + b) & M64,
+    ops.SUB: lambda a, b: (a - b) & M64,
+    ops.MUL: lambda a, b: (a * b) & M64,
+    ops.SDIV: _sdiv,
+    ops.UDIV: _udiv,
+    ops.SREM: _srem,
+    ops.UREM: _urem,
+    ops.AND: lambda a, b: a & b,
+    ops.OR: lambda a, b: a | b,
+    ops.XOR: lambda a, b: a ^ b,
+    ops.SHL: lambda a, b: (a << (b & 63)) & M64,
+    ops.LSHR: lambda a, b: a >> (b & 63),
+    ops.ASHR: lambda a, b: (_s64(a) >> (b & 63)) & M64,
+    ops.FADD: lambda a, b: a + b,
+    ops.FSUB: lambda a, b: a - b,
+    ops.FMUL: lambda a, b: a * b,
+    ops.FDIV: lambda a, b: a / b if b != 0.0 else float("inf") * (1 if a >= 0 else -1),
+    ops.EQ: lambda a, b: 1 if a == b else 0,
+    ops.NE: lambda a, b: 1 if a != b else 0,
+    ops.SLT: lambda a, b: 1 if _s64(a) < _s64(b) else 0,
+    ops.SLE: lambda a, b: 1 if _s64(a) <= _s64(b) else 0,
+    ops.SGT: lambda a, b: 1 if _s64(a) > _s64(b) else 0,
+    ops.SGE: lambda a, b: 1 if _s64(a) >= _s64(b) else 0,
+    ops.ULT: lambda a, b: 1 if a < b else 0,
+    ops.ULE: lambda a, b: 1 if a <= b else 0,
+    ops.UGT: lambda a, b: 1 if a > b else 0,
+    ops.UGE: lambda a, b: 1 if a >= b else 0,
+    ops.FEQ: lambda a, b: 1 if a == b else 0,
+    ops.FNE: lambda a, b: 1 if a != b else 0,
+    ops.FLT: lambda a, b: 1 if a < b else 0,
+    ops.FLE: lambda a, b: 1 if a <= b else 0,
+    ops.FGT: lambda a, b: 1 if a > b else 0,
+    ops.FGE: lambda a, b: 1 if a >= b else 0,
+}
+
+RUNNABLE = 0
+BLOCKED = 1
+DONE = 2
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("fn", "code", "consts", "regs", "pc", "dest", "base",
+                 "ret_slot", "token", "bounds")
+
+    def __init__(self, fn: Function, consts: List[object], base: int,
+                 ret_slot: int, token: int, dest: Optional[int],
+                 track_bounds: bool):
+        self.fn = fn
+        self.code = fn.code
+        self.consts = consts
+        self.regs: List[object] = [0] * fn.nregs
+        self.pc = 0
+        self.dest = dest          # caller register receiving the return value
+        self.base = base          # frame base (lowest address)
+        self.ret_slot = ret_slot  # address of the return-address word
+        self.token = token        # expected return-address value
+        self.bounds: Optional[Dict[int, Tuple[int, int]]] = (
+            {} if track_bounds else None)
+
+
+class Thread:
+    """A simulated thread with its own stack region and call stack."""
+
+    __slots__ = ("tid", "frames", "state", "sp", "stack_base", "stack_top",
+                 "result", "wait")
+
+    def __init__(self, tid: int, stack_base: int, stack_top: int):
+        self.tid = tid
+        self.frames: List[Frame] = []
+        self.state = RUNNABLE
+        self.sp = stack_top
+        self.stack_base = stack_base
+        self.stack_top = stack_top
+        self.result: int = 0
+        self.wait: Optional[Tuple[str, int]] = None
+
+
+class VM:
+    """Interpreter over a simulated enclave, parameterized by a scheme."""
+
+    def __init__(self, enclave: Optional[Enclave] = None,
+                 scheme: Optional[SchemeRuntime] = None,
+                 quantum: int = 200,
+                 max_instructions: int = 2_000_000_000,
+                 stack_size: int = DEFAULT_STACK_SIZE):
+        self.enclave = enclave or Enclave()
+        self.space = self.enclave.space
+        self.counters = self.enclave.counters
+        self.scheme = scheme or SchemeRuntime()
+        self.quantum = quantum
+        self.max_instructions = max_instructions
+        self.stack_size = stack_size
+        self.program: Optional[Program] = None
+        self.threads: List[Thread] = []
+        self.current: Optional[Thread] = None
+        self.stdout: List[str] = []
+        self.exit_value: int = 0
+        self._token_counter = 0x5245_5400_0000_0000
+        self._next_stack = STACK_TOP
+        self._executed = 0
+        self.natives: Dict[str, Callable] = {}
+        #: Per-call MPX bounds of native arguments (set when bounds tracking
+        #: is active); libc wrappers consult it like the paper's MPX
+        #: wrappers consult bounds registers.
+        self.native_arg_bounds: Optional[List] = None
+        self.scheme.attach(self)
+        from repro.vm import libc, natives   # deferred: circular import
+        self.natives.update(natives.core_natives())
+        self.natives.update(libc.libc_natives())
+        self.natives.update(self.scheme.natives())
+
+    # ------------------------------------------------------------------
+    # Loading and setup
+    # ------------------------------------------------------------------
+    def load(self, module: Module) -> Program:
+        self.program = load_program(self, module)
+        return self.program
+
+    def _alloc_stack(self) -> Tuple[int, int]:
+        top = self._next_stack
+        base = top - self.stack_size
+        if base < STACK_REGION_BASE:
+            raise VMError("out of stack regions for threads")
+        self.space.map(base, self.stack_size, name="stack")
+        self._next_stack = base - PAGE_SIZE   # guard gap between stacks
+        return base, top
+
+    def new_thread(self, fn: Function, args: Sequence[object]) -> Thread:
+        base, top = self._alloc_stack()
+        thread = Thread(len(self.threads), base, top)
+        self.threads.append(thread)
+        self._push_frame(thread, fn, list(args), dest=None)
+        return thread
+
+    def _push_frame(self, thread: Thread, fn: Function,
+                    args: Sequence[object], dest: Optional[int],
+                    arg_bounds: Optional[Dict[int, Tuple[int, int]]] = None) -> Frame:
+        fsize = fn.frame_size
+        new_sp = thread.sp - fsize
+        if new_sp < thread.stack_base:
+            raise SegmentationFault(new_sp, fsize, "stack overflow")
+        ret_slot = new_sp + fsize - Function.RET_SLOT
+        self._token_counter += 1
+        token = self._token_counter
+        self.space.write_u64(ret_slot, token)
+        consts = self.program.resolved_consts[fn.name]
+        frame = Frame(fn, consts, new_sp, ret_slot, token, dest,
+                      self.scheme.uses_register_bounds)
+        nparams = len(fn.params)
+        if len(args) < nparams:
+            args = list(args) + [0] * (nparams - len(args))
+        for i in range(nparams):
+            frame.regs[i] = args[i]
+        if arg_bounds and frame.bounds is not None:
+            frame.bounds.update(arg_bounds)
+        thread.sp = new_sp
+        thread.frames.append(frame)
+        return frame
+
+    # ------------------------------------------------------------------
+    # Bulk memory helpers for natives (charge per cache line, not per byte)
+    # ------------------------------------------------------------------
+    def touch_range(self, address: int, size: int, is_write: bool) -> None:
+        """Run the cache/EPC model over every line in [address, address+size)."""
+        if size <= 0:
+            return
+        trace = self.space.tracer
+        if trace is None:
+            return
+        first = address & ~(LINE_SIZE - 1)
+        last = (address + size - 1) & ~(LINE_SIZE - 1)
+        line = first
+        while line <= last:
+            trace(line, 1, is_write)
+            line += LINE_SIZE
+
+    def bulk_read(self, address: int, size: int) -> bytes:
+        self.touch_range(address, size, False)
+        tracer, self.space.tracer = self.space.tracer, None
+        try:
+            return self.space.read(address & ADDRESS_MASK, size)
+        finally:
+            self.space.tracer = tracer
+
+    def bulk_write(self, address: int, data: bytes) -> None:
+        self.touch_range(address, len(data), True)
+        tracer, self.space.tracer = self.space.tracer, None
+        try:
+            self.space.write(address & ADDRESS_MASK, data)
+        finally:
+            self.space.tracer = tracer
+
+    def charge(self, instructions: int) -> None:
+        """Account for work a native performs on the simulated CPU."""
+        self.counters.instructions += instructions
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, entry: str = "main", args: Sequence[object] = ()) -> int:
+        """Execute ``entry`` to completion; returns its result."""
+        if self.program is None:
+            raise VMError("no program loaded")
+        fn = self.program.functions.get(entry)
+        if fn is None:
+            raise VMError(f"no entry function {entry!r}")
+        main_thread = self.new_thread(fn, args)
+        try:
+            while True:
+                progressed = False
+                for thread in list(self.threads):
+                    if thread.state != RUNNABLE:
+                        continue
+                    progressed = True
+                    self._step(thread, self.quantum)
+                    if main_thread.state == DONE:
+                        self.exit_value = main_thread.result
+                        return self.exit_value
+                if not progressed:
+                    if all(t.state == DONE for t in self.threads):
+                        self.exit_value = main_thread.result
+                        return self.exit_value
+                    raise VMError("deadlock: all live threads are blocked")
+        except ProgramExit as stop:
+            self.exit_value = stop.code
+            return self.exit_value
+
+    def _finish_thread(self, thread: Thread, result: object) -> None:
+        thread.state = DONE
+        thread.result = result
+        for other in self.threads:
+            if other.state == BLOCKED and other.wait == ("join", thread.tid):
+                other.state = RUNNABLE
+                other.wait = None
+
+    def unblock_lock_waiters(self, address: int) -> None:
+        for other in self.threads:
+            if other.state == BLOCKED and other.wait == ("lock", address):
+                other.state = RUNNABLE
+                other.wait = None
+
+    def _corrupted_return(self, actual: int) -> None:
+        target = actual & ADDRESS_MASK
+        if in_code_region(target) and self.program.function_at(target):
+            raise ControlFlowHijack(target, "corrupted return address")
+        raise SegmentationFault(target, 8, "return to non-code address")
+
+    # The dispatch loop.  Deliberately one big function: locals are the
+    # fastest variable class in CPython and this is the simulator's hot path.
+    def _step(self, thread: Thread, quantum: int) -> None:   # noqa: C901
+        self.current = thread
+        counters = self.counters
+        space = self.space
+        binops = _BIN
+        program = self.program
+        natives = self.natives
+
+        self._executed += quantum   # upper bound; cheap budget check
+        if self._executed > self.max_instructions:
+            raise VMError(
+                f"instruction budget exceeded ({self.max_instructions}); "
+                f"likely an infinite loop in the simulated program")
+
+        while quantum > 0 and thread.state == RUNNABLE:
+            frame = thread.frames[-1]
+            code = frame.code
+            consts = frame.consts
+            regs = frame.regs
+            pc = frame.pc
+            switch = False
+            while quantum > 0:
+                ins = code[pc]
+                op = ins.op
+                counters.instructions += 1
+                quantum -= 1
+
+                fn2 = binops.get(op)
+                if fn2 is not None:
+                    a = ins.a
+                    b = ins.b
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    bv = regs[b] if b >= 0 else consts[-b - 1]
+                    regs[ins.dest] = fn2(av, bv)
+                    pc += 1
+                    continue
+
+                if op == ops.LOAD:
+                    a = ins.a
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    addr = av & M32
+                    if ins.is_float:
+                        value = space.read_f64(addr)
+                    else:
+                        size = ins.size
+                        value = space.read_uint(addr, size)
+                        if ins.signed and size < 8:
+                            sign = 1 << (size * 8 - 1)
+                            if value & sign:
+                                value = (value - (sign << 1)) & M64
+                    regs[ins.dest] = value
+                    pc += 1
+                    continue
+
+                if op == ops.STORE:
+                    a = ins.a
+                    b = ins.b
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    bv = regs[b] if b >= 0 else consts[-b - 1]
+                    addr = av & M32
+                    if ins.is_float:
+                        space.write_f64(addr, bv)
+                    else:
+                        space.write_uint(addr, bv, ins.size)
+                    pc += 1
+                    continue
+
+                if op == ops.GEP:
+                    a = ins.a
+                    base = regs[a] if a >= 0 else consts[-a - 1]
+                    b = ins.b
+                    if b is not None:
+                        idx = regs[b] if b >= 0 else consts[-b - 1]
+                        value = base + idx * ins.size + ins.c
+                    else:
+                        value = base + ins.c
+                    if ins.clamp:
+                        # §3.2's 32-bit-confined arithmetic: on x86 this
+                        # lowers to a 32-bit lea plus one merge op.
+                        counters.instructions += 1
+                        value = (base & HI32) | (value & M32)
+                    else:
+                        value &= M64
+                    regs[ins.dest] = value
+                    bnd = frame.bounds
+                    if bnd is not None and a >= 0 and a in bnd:
+                        bnd[ins.dest] = bnd[a]
+                    pc += 1
+                    continue
+
+                if op == ops.BR:
+                    counters.branches += 1
+                    a = ins.a
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    pc = ins.t1 if av else ins.t2
+                    continue
+
+                if op == ops.JMP:
+                    counters.branches += 1
+                    pc = ins.t1
+                    continue
+
+                if op == ops.MOV:
+                    a = ins.a
+                    regs[ins.dest] = regs[a] if a >= 0 else consts[-a - 1]
+                    bnd = frame.bounds
+                    if bnd is not None and a >= 0 and a in bnd:
+                        bnd[ins.dest] = bnd[a]
+                    pc += 1
+                    continue
+
+                if op == ops.SELECT:
+                    a, b, c = ins.a, ins.b, ins.c
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    chosen = b if av else c
+                    regs[ins.dest] = regs[chosen] if chosen >= 0 else consts[-chosen - 1]
+                    pc += 1
+                    continue
+
+                if op == ops.CALL:
+                    counters.calls += 1
+                    args = ins.args
+                    values = [regs[x] if x >= 0 else consts[-x - 1] for x in args]
+                    name = ins.name
+                    if name is not None:
+                        callee = program.functions.get(name)
+                        if callee is None:
+                            native = natives.get(name)
+                            if native is None:
+                                raise VMError(f"unknown function {name!r}")
+                            if frame.bounds is not None:
+                                self.native_arg_bounds = [
+                                    frame.bounds.get(x) if x >= 0 else None
+                                    for x in args]
+                            result = native(self, thread, values)
+                            if result is BLOCK_RETRY:
+                                frame.pc = pc   # re-execute the call on wake
+                                switch = True
+                                break
+                            if type(result) is NativeResult:
+                                if ins.dest is not None:
+                                    regs[ins.dest] = result.value
+                                    if frame.bounds is not None and result.bounds:
+                                        frame.bounds[ins.dest] = result.bounds
+                            elif ins.dest is not None:
+                                regs[ins.dest] = result if result is not None else 0
+                            if thread.state != RUNNABLE or thread.frames[-1] is not frame:
+                                frame.pc = pc + 1
+                                switch = True
+                                break
+                            pc += 1
+                            continue
+                    else:
+                        a = ins.a
+                        target = (regs[a] if a >= 0 else consts[-a - 1]) & ADDRESS_MASK
+                        callee = program.function_at(target)
+                        if callee is None:
+                            raise SegmentationFault(target, 1, "indirect call to non-code")
+                    arg_bounds = None
+                    if frame.bounds is not None:
+                        arg_bounds = {}
+                        for i, x in enumerate(args):
+                            if x >= 0 and x in frame.bounds:
+                                arg_bounds[i] = frame.bounds[x]
+                    frame.pc = pc + 1
+                    self._push_frame(thread, callee, values, ins.dest, arg_bounds)
+                    switch = True
+                    break
+
+                if op == ops.RET:
+                    a = ins.a
+                    value = 0
+                    if a is not None:
+                        value = regs[a] if a >= 0 else consts[-a - 1]
+                    actual = space.read_u64(frame.ret_slot)
+                    if actual != frame.token:
+                        self._corrupted_return(actual)
+                    ret_bounds = None
+                    if frame.bounds is not None and a is not None and a >= 0:
+                        ret_bounds = frame.bounds.get(a)
+                    thread.frames.pop()
+                    thread.sp = frame.base + frame.fn.frame_size
+                    if not thread.frames:
+                        self._finish_thread(thread, value)
+                        switch = True
+                        break
+                    parent = thread.frames[-1]
+                    if frame.dest is not None:
+                        parent.regs[frame.dest] = value
+                        if parent.bounds is not None and ret_bounds:
+                            parent.bounds[frame.dest] = ret_bounds
+                    switch = True
+                    break
+
+                if op == ops.ALLOCA:
+                    regs[ins.dest] = frame.base + ins.c
+                    pc += 1
+                    continue
+
+                if op == ops.TRUNC:
+                    a = ins.a
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    regs[ins.dest] = av & ((1 << (ins.size * 8)) - 1)
+                    pc += 1
+                    continue
+
+                if op == ops.SEXT:
+                    a = ins.a
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    bits = ins.size * 8
+                    sign = 1 << (bits - 1)
+                    av &= (1 << bits) - 1
+                    if av & sign:
+                        av = (av - (1 << bits)) & M64
+                    regs[ins.dest] = av
+                    pc += 1
+                    continue
+
+                if op == ops.SITOFP:
+                    a = ins.a
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    regs[ins.dest] = float(_s64(av))
+                    pc += 1
+                    continue
+
+                if op == ops.FPTOSI:
+                    a = ins.a
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    regs[ins.dest] = int(av) & M64
+                    pc += 1
+                    continue
+
+                if op == ops.FNEG:
+                    a = ins.a
+                    av = regs[a] if a >= 0 else consts[-a - 1]
+                    regs[ins.dest] = -av
+                    pc += 1
+                    continue
+
+                if op == ops.ATOMICRMW:
+                    a, b = ins.a, ins.b
+                    addr = (regs[a] if a >= 0 else consts[-a - 1]) & M32
+                    val = regs[b] if b >= 0 else consts[-b - 1]
+                    old = space.read_uint(addr, ins.size)
+                    if ins.name == "add":
+                        space.write_uint(addr, (old + val) & M64, ins.size)
+                    elif ins.name == "xchg":
+                        space.write_uint(addr, val, ins.size)
+                    elif ins.name == "sub":
+                        space.write_uint(addr, (old - val) & M64, ins.size)
+                    else:
+                        raise VMError(f"unknown atomicrmw kind {ins.name!r}")
+                    regs[ins.dest] = old
+                    pc += 1
+                    continue
+
+                if op == ops.CMPXCHG:
+                    a, b, c = ins.a, ins.b, ins.c
+                    addr = (regs[a] if a >= 0 else consts[-a - 1]) & M32
+                    expected = regs[b] if b >= 0 else consts[-b - 1]
+                    desired = regs[c] if c >= 0 else consts[-c - 1]
+                    old = space.read_uint(addr, ins.size)
+                    if old == expected:
+                        space.write_uint(addr, desired, ins.size)
+                    regs[ins.dest] = old
+                    pc += 1
+                    continue
+
+                if op == ops.BNDMK:
+                    a, b = ins.a, ins.b
+                    base = (regs[a] if a >= 0 else consts[-a - 1]) & M32
+                    size = regs[b] if b >= 0 else consts[-b - 1]
+                    if frame.bounds is not None:
+                        frame.bounds[ins.dest] = (base, base + size)
+                    pc += 1
+                    continue
+
+                if op == ops.BNDCL:
+                    # MPX bound checks are micro-coded multi-uop
+                    # instructions (Oleksenko et al., "Intel MPX
+                    # Explained"); ins.c additionally carries the
+                    # pass-computed bounds-register spill cost (only 4
+                    # architectural bounds registers exist).
+                    counters.instructions += 1 + (ins.c or 0)
+                    counters.bounds_checks += 1
+                    bnd = frame.bounds.get(ins.dest) if frame.bounds is not None else None
+                    if bnd is not None:
+                        a = ins.a
+                        val = (regs[a] if a >= 0 else consts[-a - 1]) & M32
+                        if val < bnd[0]:
+                            raise BoundsViolation("mpx", val, bnd[0], bnd[1],
+                                                  what="bndcl")
+                    pc += 1
+                    continue
+
+                if op == ops.BNDCU:
+                    counters.instructions += 1 + (ins.c or 0)
+                    counters.bounds_checks += 1
+                    bnd = frame.bounds.get(ins.dest) if frame.bounds is not None else None
+                    if bnd is not None:
+                        a = ins.a
+                        val = (regs[a] if a >= 0 else consts[-a - 1]) & M32
+                        if val + ins.size > bnd[1]:
+                            raise BoundsViolation("mpx", val, bnd[0], bnd[1],
+                                                  size=ins.size, what="bndcu")
+                    pc += 1
+                    continue
+
+                if op == ops.BNDLDX:
+                    a = ins.a
+                    slot = (regs[a] if a >= 0 else consts[-a - 1]) & M32
+                    # Two-level BD/BT translation plus the compiler's
+                    # bounds-register spill pressure: several extra uops
+                    # beyond the memory traffic charged below.
+                    counters.instructions += 4
+                    if frame.bounds is not None:
+                        loaded = self.scheme.bt_load(self, slot)
+                        if loaded is not None:
+                            frame.bounds[ins.dest] = loaded
+                        else:
+                            frame.bounds.pop(ins.dest, None)
+                    pc += 1
+                    continue
+
+                if op == ops.BNDSTX:
+                    a = ins.a
+                    slot = (regs[a] if a >= 0 else consts[-a - 1]) & M32
+                    counters.instructions += 4
+                    if frame.bounds is not None:
+                        self.scheme.bt_store(self, slot,
+                                             frame.bounds.get(ins.dest))
+                    pc += 1
+                    continue
+
+                if op == ops.TRAP:
+                    raise TrapError(ins.name or "trap")
+
+                if op == ops.NOP:
+                    pc += 1
+                    continue
+
+                raise VMError(f"unhandled opcode {op} ({ops.OP_NAMES.get(op)})")
+
+            if not switch:
+                frame.pc = pc
+        self.current = None
+
+    # ------------------------------------------------------------------
+    def output(self) -> str:
+        """Everything the program printed."""
+        return "".join(self.stdout)
+
+
+def run_module(module: Module, scheme: Optional[SchemeRuntime] = None,
+               enclave: Optional[Enclave] = None, entry: str = "main",
+               args: Sequence[object] = (), **vm_kwargs) -> Tuple[int, VM]:
+    """Convenience: load and run a module, returning (exit value, vm)."""
+    vm = VM(enclave=enclave, scheme=scheme, **vm_kwargs)
+    vm.load(module)
+    result = vm.run(entry, args)
+    return result, vm

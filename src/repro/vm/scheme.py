@@ -1,0 +1,133 @@
+"""Scheme runtime interface.
+
+A *scheme* is one memory-safety approach: native (no protection),
+SGXBounds, AddressSanitizer or Intel MPX.  Each scheme contributes
+
+* a compile-time instrumentation pass (in ``repro.passes``), and
+* a runtime — this interface — hooked into the loader (global layout),
+  the allocator (malloc/free wrappers) and the libc natives (argument
+  checking), mirroring the paper's split between the LLVM pass and the
+  auxiliary C run-time (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from repro.memory.layout import ADDRESS_MASK
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.ir.module import GlobalVar, Module
+    from repro.vm.machine import VM
+
+
+class SchemeRuntime:
+    """Base runtime: no protection (the "native SGX" baseline)."""
+
+    #: Registry name; also stamped into instrumented modules' ``meta``.
+    name = "native"
+    #: Whether the VM should maintain per-register bounds (MPX only).
+    uses_register_bounds = False
+    #: Failure-oblivious mode (SGXBounds boundless memory, §4.2).
+    boundless = False
+    #: Minimum alignment the loader must give globals (ASan needs its
+    #: 8-byte shadow granule).
+    global_min_align = 1
+
+    def __init__(self) -> None:
+        self.vm: Optional["VM"] = None
+        self.violations = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def attach(self, vm: "VM") -> None:
+        """Called once when the VM is created, before loading."""
+        self.vm = vm
+
+    def instrument(self, module: "Module") -> "Module":
+        """Apply this scheme's compile-time pass (identity for native)."""
+        return module
+
+    # -- loader hooks ------------------------------------------------------
+    def global_padding(self, var: "GlobalVar") -> Tuple[int, int]:
+        """(pre, post) padding bytes around a global variable."""
+        return (0, 0)
+
+    def resolve_global_address(self, address: int, var: "GlobalVar") -> int:
+        """Constant value the program sees for ``&var`` (tagged for
+        SGXBounds)."""
+        return address
+
+    def on_global_loaded(self, vm: "VM", address: int, var: "GlobalVar") -> None:
+        """Initialize per-object metadata for a loaded global."""
+
+    # -- allocation --------------------------------------------------------
+    def malloc(self, vm: "VM", size: int) -> int:
+        return vm.enclave.heap.malloc(size)
+
+    def calloc(self, vm: "VM", count: int, size: int) -> int:
+        return vm.enclave.heap.calloc(count, size)
+
+    def realloc(self, vm: "VM", ptr: int, size: int) -> int:
+        return vm.enclave.heap.realloc(ptr & ADDRESS_MASK, size)
+
+    def free(self, vm: "VM", ptr: int) -> None:
+        vm.enclave.heap.free(ptr & ADDRESS_MASK)
+
+    def alloc_bounds(self, ptr: int, size: int) -> Optional[Tuple[int, int]]:
+        """Register bounds to attach to a fresh allocation (MPX only)."""
+        return None
+
+    def stack_object(self, vm: "VM", address: int, size: int) -> None:
+        """Notify the runtime of a stack object coming to life (ASan
+        poison bookkeeping happens through pass-inserted natives instead)."""
+
+    # -- pointer handling for libc wrappers --------------------------------
+    def strip(self, ptr: int) -> int:
+        """Plain 32-bit address of ``ptr`` (drops any tag)."""
+        return ptr & ADDRESS_MASK
+
+    def check_range(self, vm: "VM", ptr: int, size: int,
+                    is_write: bool) -> int:
+        """Validate a [ptr, ptr+size) access from a libc wrapper; returns
+        the plain address to use.  Raises or redirects on violation."""
+        return ptr & ADDRESS_MASK
+
+    def libc_range(self, vm: "VM", ptr: int, size: int, is_write: bool,
+                   arg_bounds: Optional[Tuple[int, int]] = None
+                   ) -> Tuple[int, int]:
+        """Validate [ptr, ptr+size) on behalf of a libc wrapper.
+
+        Returns ``(plain_address, valid_bytes)``.  ``valid_bytes < size``
+        only in failure-oblivious modes (the wrapper then clamps the
+        operation, e.g. Heartbleed's over-long memcpy copies zeros for the
+        out-of-bounds tail); strict modes raise instead.  ``arg_bounds``
+        carries MPX register bounds when available.
+        """
+        return (ptr & ADDRESS_MASK, size)
+
+    def object_extent(self, vm: "VM", ptr: int) -> Optional[int]:
+        """Bytes from ``ptr`` to the end of its referent object, when the
+        scheme can tell (SGXBounds can from the tag); None otherwise.
+        libc wrappers use it to clamp implicit-length operations."""
+        return None
+
+    # -- MPX bounds-table hooks (overridden by the MPX scheme) -------------
+    def bt_load(self, vm: "VM", slot: int) -> Optional[Tuple[int, int]]:
+        raise NotImplementedError(f"{self.name}: bndldx executed without MPX runtime")
+
+    def bt_store(self, vm: "VM", slot: int,
+                 bounds: Optional[Tuple[int, int]]) -> None:
+        raise NotImplementedError(f"{self.name}: bndstx executed without MPX runtime")
+
+    # -- extra native functions the pass's inserted calls resolve to -------
+    def natives(self) -> Dict[str, Callable]:
+        return {}
+
+    # -- reporting ----------------------------------------------------------
+    def memory_overhead_report(self, vm: "VM") -> Dict[str, int]:
+        """Scheme-specific memory statistics for the harness."""
+        return {}
+
+
+class NativeScheme(SchemeRuntime):
+    """Explicit alias for the unprotected baseline."""

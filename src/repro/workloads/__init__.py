@@ -1,0 +1,14 @@
+"""Benchmark workloads: Phoenix, PARSEC, SPEC, RIPE, and the app case studies."""
+
+from repro.workloads.netsim import NetworkSim
+from repro.workloads.registry import (
+    SIZES,
+    Workload,
+    all_workloads,
+    by_suite,
+    get,
+    register,
+)
+
+__all__ = ["NetworkSim", "Workload", "register", "get", "by_suite",
+           "all_workloads", "SIZES"]

@@ -1,0 +1,5 @@
+"""Application case studies: SQLite, Memcached, Apache, Nginx (paper §7)."""
+
+from repro.workloads.apps import apache, memcached, nginx, sqlite_kv
+
+__all__ = ["sqlite_kv", "memcached", "apache", "nginx"]

@@ -1,0 +1,120 @@
+"""Apache + OpenSSL case study: multi-threaded server with Heartbleed.
+
+Mirrors the paper's §7 setup: worker threads (one per connection, like
+Apache's thread pool), page-aligned per-request allocations (the apr-pool
+pattern responsible for SGXBounds' +50% memory on Apache — 4 extra
+metadata bytes on a page-sized request round up to a whole extra size
+class), and an OpenSSL-style heartbeat handler with the actual Heartbleed
+bug: the response length comes from the request header, not from the
+actual payload, so an over-long heartbeat reads past the request buffer —
+straight into the adjacent session-secret allocation.
+
+Request format:
+  byte 0      type: 1 = heartbeat, 2 = static GET
+  bytes 1-2   heartbeat payload length (little-endian) — attacker knob
+  bytes 3..   payload
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+SOURCE = r"""
+char g_page[1024];
+
+struct Conn { char *reqbuf; char *secret; };
+struct Conn g_conns[8];
+int g_requests_per_conn;
+
+int handle_heartbeat(int conn, char *req, int got) {
+    int claimed = (req[1] & 255) | ((req[2] & 255) << 8);
+    char *resp = (char*)malloc(claimed + 4);
+    // Heartbleed: copy 'claimed' bytes from a payload that may be shorter.
+    memcpy(resp, req + 3, claimed);
+    net_send(conn, resp, claimed);
+    free(resp);
+    return claimed;
+}
+
+int handle_get(int conn) {
+    net_send(conn, g_page, 1024);
+    return 1024;
+}
+
+char *g_pool[8];
+int g_pool_used[8];
+
+int worker(int conn) {
+    struct Conn *c = &g_conns[conn];
+    int served = 0;
+    for (int r = 0; r < g_requests_per_conn; r++) {
+        int got = net_recv(conn, c->reqbuf, 1024);
+        if (got <= 0) break;
+        // Request state lands in the connection's apr-style pool (bump
+        // allocation within the per-client arena).
+        int offset = g_pool_used[conn];
+        if (offset + got > 65536) offset = 0;
+        memcpy(g_pool[conn] + offset, c->reqbuf, got);
+        g_pool_used[conn] = offset + got;
+        int type = c->reqbuf[0] & 255;
+        if (type == 1) handle_heartbeat(conn, c->reqbuf, got);
+        else handle_get(conn);
+        served++;
+    }
+    return served;
+}
+
+int main(int n, int threads) {
+    g_requests_per_conn = n / threads;
+    for (int t = 0; t < threads; t++) {
+        // The request buffer and the session secret are adjacent heap
+        // objects: an over-read of reqbuf leaks the secret.
+        g_conns[t].reqbuf = (char*)malloc(1024);
+        g_conns[t].secret = (char*)malloc(1024);
+        // Per-client arena (the paper: "each new client requires around
+        // 1MB", scaled): a power-of-two, page-multiple request — the
+        // allocation shape that makes SGXBounds' 4 extra bytes spill
+        // into the next size class (§7's +50% memory on Apache).
+        g_pool[t] = (char*)malloc(65536);
+        for (int i = 0; i < 1024; i++) g_conns[t].secret[i] = 'S';
+        for (int i = 0; i < 512; i++) g_page[i] = (char)('a' + i % 26);
+    }
+    int tids[8];
+    for (int t = 0; t < threads; t++) tids[t] = spawn(worker, t);
+    int served = 0;
+    for (int t = 0; t < threads; t++) served += join(tids[t]);
+    return served;
+}
+"""
+
+
+def heartbeat(payload: bytes, claimed_len: int = -1) -> bytes:
+    """A heartbeat request; ``claimed_len`` > len(payload) is Heartbleed."""
+    length = len(payload) if claimed_len < 0 else claimed_len
+    return bytes((1,)) + struct.pack("<H", length) + payload
+
+
+def static_get() -> bytes:
+    return bytes((2, 0, 0))
+
+
+def workload(n: int) -> List[bytes]:
+    """ab-style request mix: mostly static GETs plus honest heartbeats."""
+    requests = []
+    for i in range(n):
+        if i % 5 == 0:
+            requests.append(heartbeat(b"ping-%03d" % (i % 1000)))
+        else:
+            requests.append(static_get())
+    return requests
+
+
+def heartbleed_request(claimed: int = 2048) -> bytes:
+    """The attack: claim 2048 bytes for an 8-byte payload — the response
+    leaks memory beyond the 1024-byte request buffer, i.e. the adjacent
+    session secret."""
+    return heartbeat(b"HB-EVIL!", claimed_len=claimed)
+
+
+SIZES = {"XS": 40, "S": 120, "M": 400, "L": 1000, "XL": 2400}

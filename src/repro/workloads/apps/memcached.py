@@ -1,0 +1,118 @@
+"""Memcached case study: hash-table cache server + CVE-2011-4971 analog.
+
+A chained hash table of malloc'd items behind a binary protocol, driven by
+a memaslap-like request generator.  The vulnerability mirrors the paper's
+CVE-2011-4971 reproduction: an authentication-style opcode copies the
+request body into a fixed 64-byte buffer using the *claimed* body length
+from the header without validation.
+
+Request format (little-endian):
+  byte 0      opcode: 1 = SET, 2 = GET, 3 = AUTH (vulnerable path)
+  byte 1      key length (K)
+  bytes 2-3   value length (V)
+  bytes 4..   K key bytes, then V value bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+SOURCE = r"""
+struct Item { int hash; int vallen; char val[48]; struct Item *next; };
+struct Item *g_table[256];
+char g_req[512];
+char g_auth[64];
+
+int hash_key(char *key, int len) {
+    int h = 0;
+    for (int i = 0; i < len; i++) h = h * 131 + key[i];
+    return h & 0x7FFFFFFF;
+}
+
+int handle_set(int keylen, int vallen) {
+    if (vallen > 48) return 0;          // honest server-side check
+    int h = hash_key(g_req + 4, keylen);
+    int bucket = h % 256;
+    struct Item *it = g_table[bucket];
+    while (it && it->hash != h) it = it->next;
+    if (!it) {
+        it = (struct Item*)malloc(sizeof(struct Item));
+        it->hash = h;
+        it->next = g_table[bucket];
+        g_table[bucket] = it;
+    }
+    it->vallen = vallen;
+    memcpy(it->val, g_req + 4 + keylen, vallen);
+    return 1;
+}
+
+int handle_get(int keylen, int conn) {
+    int h = hash_key(g_req + 4, keylen);
+    struct Item *it = g_table[h % 256];
+    while (it && it->hash != h) it = it->next;
+    if (it) { net_send(conn, it->val, it->vallen); return 1; }
+    net_send(conn, "N", 1);
+    return 0;
+}
+
+int handle_auth(int keylen, int vallen, int conn) {
+    // CVE-2011-4971 analog: vallen comes straight from the header.
+    memcpy(g_auth, g_req + 4 + keylen, vallen);
+    net_send(conn, "A", 1);
+    return 1;
+}
+
+int main(int n, int threads) {
+    int served = 0;
+    int checksum = 0;
+    for (int r = 0; r < n; r++) {
+        int got = net_recv(0, g_req, 512);
+        if (got <= 0) break;
+        int op = g_req[0] & 255;
+        int keylen = g_req[1] & 255;
+        int vallen = (g_req[2] & 255) | ((g_req[3] & 255) << 8);
+        if (op == 1) {
+            checksum += handle_set(keylen, vallen);
+            net_send(0, "S", 1);
+        } else if (op == 2) {
+            checksum += handle_get(keylen, 0);
+        } else if (op == 3) {
+            handle_auth(keylen, vallen, 0);
+        }
+        served++;
+    }
+    if (checksum < 0) return -1;   // keep the hit accounting live
+    return served;
+}
+"""
+
+
+def make_request(op: int, key: bytes, value: bytes = b"",
+                 claimed_len: int = -1) -> bytes:
+    """Build one protocol request; ``claimed_len`` overrides the header's
+    value length (the attack knob)."""
+    vallen = len(value) if claimed_len < 0 else claimed_len
+    return bytes((op, len(key))) + struct.pack("<H", vallen) + key + value
+
+
+def workload(n: int, value_size: int = 32) -> List[bytes]:
+    """memaslap-like mix: 90% GET / 10% SET over a small key space."""
+    requests = []
+    for i in range(n):
+        key = b"key%06d" % (i % max(n // 10, 1))
+        if i % 10 == 0:
+            value = bytes((i + j) & 0xFF for j in range(value_size))
+            requests.append(make_request(1, key, value[:48]))
+        else:
+            requests.append(make_request(2, key))
+    return requests
+
+
+def cve_2011_4971_request(claimed: int = 300) -> bytes:
+    """The attack: AUTH opcode claiming a 300-byte body for a 64-byte
+    buffer (actual payload only 16 bytes)."""
+    return make_request(3, b"user", b"B" * 16, claimed_len=claimed)
+
+
+SIZES = {"XS": 50, "S": 200, "M": 600, "L": 1500, "XL": 4000}

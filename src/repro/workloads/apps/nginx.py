@@ -1,0 +1,83 @@
+"""Nginx case study: single-threaded event server + CVE-2013-2028.
+
+Mirrors §7: a single-threaded server pushing a static page per GET (the
+paper's 200 KiB page scaled to 2 KiB) and a chunked-transfer upload path
+with the actual CVE-2013-2028 shape — the chunk size is taken from the
+request as a (signed) integer and used as a memcpy length into a 64-byte
+stack buffer, enabling a stack smash / ROP pivot.
+
+Request format:
+  byte 0      type: 1 = GET, 2 = chunked upload
+  bytes 1-4   chunk size (little-endian, attacker-controlled)
+  bytes 5..   chunk data
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+SOURCE = r"""
+char g_page[2048];
+char g_req[4096];
+
+int handle_get(int conn) {
+    net_send(conn, g_page, 2048);
+    return 2048;
+}
+
+int handle_chunk(int conn) {
+    char chunkbuf[64];
+    int size = (g_req[1] & 255) | ((g_req[2] & 255) << 8)
+             | ((g_req[3] & 255) << 16) | ((g_req[4] & 255) << 24);
+    // CVE-2013-2028: attacker-controlled size, no validation.
+    memcpy(chunkbuf, g_req + 5, size);
+    int acc = 0;
+    for (int i = 0; i < 16; i++) acc += chunkbuf[i];
+    net_send(conn, "OK", 2);
+    return acc;
+}
+
+int main(int n, int threads) {
+    for (int i = 0; i < 2048; i++) g_page[i] = (char)('a' + i % 26);
+    int served = 0;
+    for (int r = 0; r < n; r++) {
+        int got = net_recv(0, g_req, 4096);
+        if (got <= 0) break;
+        int type = g_req[0] & 255;
+        if (type == 1) handle_get(0);
+        else handle_chunk(0);
+        served++;
+    }
+    return served;
+}
+"""
+
+
+def get_request() -> bytes:
+    return bytes((1, 0, 0, 0, 0))
+
+
+def chunk_request(data: bytes, claimed: int = -1) -> bytes:
+    size = len(data) if claimed < 0 else claimed
+    return bytes((2,)) + struct.pack("<i", size) + data
+
+
+def workload(n: int) -> List[bytes]:
+    """ab-style mix: static GETs with occasional small uploads."""
+    requests = []
+    for i in range(n):
+        if i % 8 == 0:
+            requests.append(chunk_request(b"d" * 32))
+        else:
+            requests.append(get_request())
+    return requests
+
+
+def cve_2013_2028_request(claimed: int = 80) -> bytes:
+    """The attack: a chunk claiming 80 bytes for a 64-byte stack buffer —
+    smashing handle_chunk's frame up to and including the return address."""
+    return chunk_request(b"E" * 60, claimed=claimed)
+
+
+SIZES = {"XS": 40, "S": 120, "M": 400, "L": 1000, "XL": 2400}

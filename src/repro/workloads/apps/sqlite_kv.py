@@ -1,0 +1,85 @@
+"""SQLite case study substitute: a pointer-intensive KV index + speedtest.
+
+The paper's SQLite speedtest (Fig. 1) stresses exactly two properties we
+must preserve: (1) the store is *exceptionally pointer-intensive* (B-tree
+pages full of pointers — "a worst-case example for MPX"), and (2) its
+working set scales with the row count, driving the EPC residency sweep.
+We substitute a malloc-per-node binary index over malloc'd row payloads:
+every insert stores two pointers into freshly allocated memory, giving the
+same per-row pointer density and allocation churn at simulation scale.
+
+Entry: ``int main(int n, int threads)`` — insert ``n`` rows, point-query
+each key once, and return a checksum over the retrieved payloads.
+"""
+
+from __future__ import annotations
+
+SOURCE = r"""
+struct Row { int key; int payload[6]; };
+struct BNode {
+    int key;
+    struct Row *row;
+    struct BNode *left;
+    struct BNode *right;
+};
+
+struct BNode *g_root;
+int g_nodes;
+
+int scramble(int i) {
+    // Deterministic key shuffle so the tree stays balanced-ish.
+    return (i * 2654435761) & 0x7FFFFFFF;
+}
+
+struct Row *make_row(int key) {
+    struct Row *row = (struct Row*)malloc(sizeof(struct Row));
+    row->key = key;
+    for (int j = 0; j < 6; j++) row->payload[j] = key % (97 + j);
+    return row;
+}
+
+void insert(int key) {
+    struct BNode *fresh = (struct BNode*)malloc(sizeof(struct BNode));
+    fresh->key = key;
+    fresh->row = make_row(key);
+    fresh->left = (struct BNode*)0;
+    fresh->right = (struct BNode*)0;
+    g_nodes++;
+    if (!g_root) { g_root = fresh; return; }
+    struct BNode *cur = g_root;
+    while (1) {
+        if (key < cur->key) {
+            if (cur->left) { cur = cur->left; }
+            else { cur->left = fresh; return; }
+        } else {
+            if (cur->right) { cur = cur->right; }
+            else { cur->right = fresh; return; }
+        }
+    }
+}
+
+struct Row *lookup(int key) {
+    struct BNode *cur = g_root;
+    while (cur) {
+        if (key == cur->key) return cur->row;
+        if (key < cur->key) cur = cur->left;
+        else cur = cur->right;
+    }
+    return (struct Row*)0;
+}
+
+int main(int n, int threads) {
+    // speedtest: bulk insert ...
+    for (int i = 0; i < n; i++) insert(scramble(i));
+    // ... then point-select every key.
+    int checksum = 0;
+    for (int i = 0; i < n; i++) {
+        struct Row *row = lookup(scramble(i));
+        if (row) checksum += row->payload[i % 6];
+    }
+    return (checksum + g_nodes) % 1000000;
+}
+"""
+
+#: Working-set ladder for the Fig. 1 sweep (rows inserted).
+SIZES = {"XS": 100, "S": 400, "M": 1000, "L": 2500, "XL": 6000}

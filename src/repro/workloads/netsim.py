@@ -1,0 +1,57 @@
+"""Network simulation for the server case studies.
+
+The paper drives Memcached/Apache/Nginx from client machines over a 10 Gb
+link; here clients are request generators feeding per-connection byte
+queues, and the servers reach them through the ``net_recv``/``net_send``
+natives (the SCONE syscall interface).  Throughput is measured server-side
+in simulated cycles per served request.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class NetworkSim:
+    """Message-oriented connection queues."""
+
+    def __init__(self) -> None:
+        self._incoming: Dict[int, Deque[bytes]] = {}
+        self._outgoing: Dict[int, List[bytes]] = {}
+        self._next_conn = 0
+
+    def connect(self, *requests: bytes) -> int:
+        """Open a connection with ``requests`` queued for the server."""
+        conn = self._next_conn
+        self._next_conn += 1
+        self._incoming[conn] = deque(requests)
+        self._outgoing[conn] = []
+        return conn
+
+    def push(self, conn: int, data: bytes) -> None:
+        """Queue one more request on an existing connection."""
+        self._incoming[conn].append(data)
+
+    def recv(self, conn: int, maxlen: int) -> Optional[bytes]:
+        """Server-side receive: up to ``maxlen`` bytes of the front
+        message; None at end-of-stream."""
+        queue = self._incoming.get(conn)
+        if not queue:
+            return None
+        message = queue.popleft()
+        if len(message) > maxlen:
+            head, rest = message[:maxlen], message[maxlen:]
+            queue.appendleft(rest)
+            return head
+        return message
+
+    def send(self, conn: int, data: bytes) -> None:
+        self._outgoing.setdefault(conn, []).append(data)
+
+    def sent(self, conn: int) -> List[bytes]:
+        """Everything the server wrote to ``conn``."""
+        return self._outgoing.get(conn, [])
+
+    def pending(self, conn: int) -> int:
+        return len(self._incoming.get(conn, ()))

@@ -1,0 +1,433 @@
+"""PARSEC 3.0 subset in MiniC — the 9 applications the paper supports
+(§6.1; raytrace/freqmine/facesim/canneal are excluded there too).
+
+Each kernel keeps the memory character the paper's analysis leans on:
+*blackscholes* is pointer-free float streaming (near-zero overheads),
+*swaptions* constantly allocates and frees tiny objects (the ASan
+quarantine / MPX bounds-table pathology of §6.2), *dedup* builds a
+pointer-dense chunk index (the MPX out-of-memory crash), *fluidanimate*
+and *bodytrack* chase neighbour/particle pointers, *streamcluster*,
+*vips* and *x264* stream larger arrays with mixed access patterns.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+_COMMON = r"""
+int g_n;
+int g_threads;
+"""
+
+BLACKSCHOLES = _COMMON + r"""
+double *g_price;
+double *g_strike;
+double *g_rate;
+double *g_vol;
+double *g_time;
+double *g_out;
+
+double approx_exp(double x) {
+    // 8-term series; inputs are small and negative.
+    double term = 1.0; double sum = 1.0;
+    for (int i = 1; i < 8; i++) {
+        term = term * x / (double)i;
+        sum += term;
+    }
+    return sum;
+}
+
+double cnd(double x) {
+    // Polynomial approximation of the cumulative normal distribution.
+    int neg = 0;
+    if (x < 0.0) { x = -x; neg = 1; }
+    double k = 1.0 / (1.0 + 0.2316419 * x);
+    double poly = k * (0.31938153 + k * (-0.356563782 + k * (1.781477937
+                + k * (-1.821255978 + k * 1.330274429))));
+    double approx = 1.0 - 0.39894228 * approx_exp(-0.5 * x * x) * poly;
+    if (neg) return 1.0 - approx;
+    return approx;
+}
+
+int worker(int idx) {
+    int chunk = g_n / g_threads;
+    int start = idx * chunk;
+    int end = (idx == g_threads - 1) ? g_n : start + chunk;
+    for (int i = start; i < end; i++) {
+        double s = g_price[i]; double x = g_strike[i];
+        double t = g_time[i]; double r = g_rate[i]; double v = g_vol[i];
+        double d1 = (r + 0.5 * v * v) * t / (v * t) + 0.5;
+        double d2 = d1 - v * t;
+        g_out[i] = s * cnd(d1) - x * approx_exp(-r * t) * cnd(d2);
+    }
+    return 0;
+}
+
+int main(int n, int threads) {
+    g_n = n; g_threads = threads;
+    g_price = (double*)malloc(n * sizeof(double));
+    g_strike = (double*)malloc(n * sizeof(double));
+    g_rate = (double*)malloc(n * sizeof(double));
+    g_vol = (double*)malloc(n * sizeof(double));
+    g_time = (double*)malloc(n * sizeof(double));
+    g_out = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        g_price[i] = 90.0 + (double)(i % 21);
+        g_strike[i] = 95.0 + (double)(i % 11);
+        g_rate[i] = 0.02 + 0.0001 * (double)(i % 7);
+        g_vol[i] = 0.2 + 0.001 * (double)(i % 13);
+        g_time[i] = 0.5 + 0.01 * (double)(i % 17);
+    }
+    int tids[16];
+    for (int t = 0; t < threads; t++) tids[t] = spawn(worker, t);
+    for (int t = 0; t < threads; t++) join(tids[t]);
+    double sum = 0.0;
+    for (int i = 0; i < n; i++) sum += g_out[i];
+    return (int)sum % 1000000;
+}
+"""
+
+BODYTRACK = _COMMON + r"""
+// Particle filter over an array of particle pointers.
+struct Particle { double x; double y; double z; double weight; };
+struct Particle **g_parts;
+
+int main(int n, int threads) {
+    g_threads = threads;
+    g_parts = (struct Particle**)malloc(n * sizeof(struct Particle*));
+    for (int i = 0; i < n; i++) {
+        struct Particle *p = (struct Particle*)malloc(sizeof(struct Particle));
+        p->x = (double)(i % 64); p->y = (double)((i * 3) % 64);
+        p->z = (double)((i * 7) % 64); p->weight = 1.0;
+        g_parts[i] = p;
+    }
+    for (int step = 0; step < 4; step++) {
+        double total = 0.0;
+        for (int i = 0; i < n; i++) {
+            struct Particle *p = g_parts[i];
+            double score = 64.0 - (p->x - 32.0) * (p->x - 32.0) * 0.05
+                         - (p->y - 32.0) * (p->y - 32.0) * 0.05;
+            p->weight = p->weight * (score > 0.0 ? score : 0.1);
+            total += p->weight;
+        }
+        for (int i = 0; i < n; i++) {
+            struct Particle *p = g_parts[i];
+            p->weight = p->weight / total;
+            p->x += p->weight * 8.0;
+            p->y += p->weight * 4.0;
+        }
+    }
+    double cx = 0.0;
+    for (int i = 0; i < n; i++) cx += g_parts[i]->x;
+    for (int i = 0; i < n; i++) free(g_parts[i]);
+    free(g_parts);
+    return (int)cx % 1000000;
+}
+"""
+
+DEDUP = _COMMON + r"""
+// Content-defined chunking + pointer-dense chunk index: the kernel whose
+// metadata explosion kills MPX in the paper (missing bar in Fig. 7).
+struct Chunk { int hash; int len; int count; struct Chunk *next; };
+struct Chunk *g_index[512];
+
+int main(int n, int threads) {
+    g_threads = threads;
+    char *data = (char*)malloc(n);
+    for (int i = 0; i < n; i++)
+        data[i] = (char)((i * 2654435761) >> 7 & 255);
+    int unique = 0;
+    int dups = 0;
+    int start = 0;
+    int roll = 0;
+    for (int i = 0; i < n; i++) {
+        roll = (roll * 33 + data[i]) & 0xFFFF;
+        int at_boundary = (roll & 63) == 0 || i - start >= 256;
+        if (at_boundary || i == n - 1) {
+            int len = i - start + 1;
+            int h = 0;
+            for (int j = start; j <= i; j++) h = h * 131 + data[j];
+            int bucket = (h & 0x7FFFFFFF) % 512;
+            struct Chunk *c = g_index[bucket];
+            while (c && (c->hash != h || c->len != len)) c = c->next;
+            if (c) {
+                c->count = c->count + 1;
+                dups++;
+            } else {
+                struct Chunk *fresh = (struct Chunk*)malloc(sizeof(struct Chunk));
+                fresh->hash = h; fresh->len = len; fresh->count = 1;
+                fresh->next = g_index[bucket];
+                g_index[bucket] = fresh;
+                unique++;
+            }
+            start = i + 1;
+        }
+    }
+    free(data);
+    return unique * 1000 + dups % 1000;
+}
+"""
+
+FERRET = _COMMON + r"""
+// Similarity search: query vectors against a pointer-indexed database.
+double **g_db;
+int g_dim;
+
+int main(int n, int threads) {
+    g_threads = threads;
+    g_dim = 8;
+    g_db = (double**)malloc(n * sizeof(double*));
+    for (int i = 0; i < n; i++) {
+        double *v = (double*)malloc(g_dim * sizeof(double));
+        for (int j = 0; j < g_dim; j++)
+            v[j] = (double)((i * 13 + j * 5) % 97);
+        g_db[i] = v;
+    }
+    int hits = 0;
+    for (int q = 0; q < 16; q++) {
+        double best = 1.0e30;
+        int best_i = 0;
+        for (int i = 0; i < n; i++) {
+            double d = 0.0;
+            double *v = g_db[i];
+            for (int j = 0; j < g_dim; j++) {
+                double diff = v[j] - (double)((q * 11 + j * 3) % 97);
+                d += diff * diff;
+            }
+            if (d < best) { best = d; best_i = i; }
+        }
+        hits += best_i;
+    }
+    for (int i = 0; i < n; i++) free(g_db[i]);
+    free(g_db);
+    return hits % 1000000;
+}
+"""
+
+FLUIDANIMATE = _COMMON + r"""
+// Grid of cells with particle linked lists (neighbour pointer chasing).
+struct FParticle { double x; double v; struct FParticle *next; };
+struct FParticle *g_cells[64];
+
+int main(int n, int threads) {
+    g_threads = threads;
+    for (int i = 0; i < n; i++) {
+        struct FParticle *p = (struct FParticle*)malloc(sizeof(struct FParticle));
+        int cell = (i * 7) % 64;
+        p->x = (double)(i % 100);
+        p->v = 0.0;
+        p->next = g_cells[cell];
+        g_cells[cell] = p;
+    }
+    for (int step = 0; step < 5; step++) {
+        for (int c = 0; c < 64; c++) {
+            struct FParticle *p = g_cells[c];
+            while (p) {
+                struct FParticle *q = g_cells[(c + 1) % 64];
+                double force = 0.0;
+                int looked = 0;
+                while (q && looked < 4) {
+                    force += (q->x - p->x) * 0.001;
+                    q = q->next;
+                    looked++;
+                }
+                p->v += force;
+                p->x += p->v;
+                p = p->next;
+            }
+        }
+    }
+    double sum = 0.0;
+    for (int c = 0; c < 64; c++) {
+        struct FParticle *p = g_cells[c];
+        while (p) { sum += p->x; p = p->next; }
+    }
+    return (int)sum % 1000000;
+}
+"""
+
+STREAMCLUSTER = _COMMON + r"""
+double *g_pts;
+int g_dim;
+
+int main(int n, int threads) {
+    g_threads = threads;
+    g_dim = 8;
+    g_pts = (double*)malloc(n * g_dim * sizeof(double));
+    for (int i = 0; i < n * g_dim; i++)
+        g_pts[i] = (double)((i * 19) % 103);
+    // Greedy online clustering into at most 12 medians.
+    double medians[96];
+    int nmed = 0;
+    double cost = 0.0;
+    for (int i = 0; i < n; i++) {
+        double best = 1.0e30;
+        for (int m = 0; m < nmed; m++) {
+            double d = 0.0;
+            for (int j = 0; j < g_dim; j++) {
+                double diff = g_pts[i * g_dim + j] - medians[m * g_dim + j];
+                d += diff * diff;
+            }
+            if (d < best) best = d;
+        }
+        if (nmed < 12 && best > 900.0) {
+            for (int j = 0; j < g_dim; j++)
+                medians[nmed * g_dim + j] = g_pts[i * g_dim + j];
+            nmed++;
+        } else {
+            cost += best;
+        }
+    }
+    free(g_pts);
+    return nmed * 1000 + (int)cost % 1000;
+}
+"""
+
+SWAPTIONS = _COMMON + r"""
+// Monte-Carlo-ish pricing with constant tiny alloc/free churn: the ASan
+// quarantine blow-up and the MPX bounds-table flood (§6.2).
+int main(int n, int threads) {
+    g_threads = threads;
+    double total = 0.0;
+    int state = 12345;
+    for (int trial = 0; trial < n; trial++) {
+        double *path = (double*)malloc(16 * sizeof(double));
+        double *disc = (double*)malloc(16 * sizeof(double));
+        double rate = 0.03;
+        for (int s = 0; s < 16; s++) {
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF;
+            double shock = (double)(state % 2000 - 1000) * 0.00001;
+            rate = rate + shock;
+            path[s] = rate;
+            disc[s] = 1.0 / (1.0 + rate);
+        }
+        double value = 0.0;
+        double factor = 1.0;
+        for (int s = 0; s < 16; s++) {
+            factor = factor * disc[s];
+            double payoff = path[s] - 0.03;
+            if (payoff > 0.0) value += payoff * factor;
+        }
+        total += value;
+        free(path);
+        free(disc);
+    }
+    return (int)(total * 100000.0) % 1000000;
+}
+"""
+
+VIPS = _COMMON + r"""
+// Image pipeline: per-row transforms over a wide byte image.
+int main(int n, int threads) {
+    g_threads = threads;
+    int width = 256;
+    int rows = n;
+    char *img = (char*)malloc(rows * width);
+    char *out = (char*)malloc(rows * width);
+    for (int i = 0; i < rows * width; i++)
+        img[i] = (char)((i * 37) % 251);
+    // Pass 1: brightness.
+    for (int i = 0; i < rows * width; i++)
+        out[i] = (char)((img[i] & 255) * 3 / 4 + 16);
+    // Pass 2: 1D blur per row.
+    for (int r = 0; r < rows; r++)
+        for (int c = 1; c < width - 1; c++) {
+            int base = r * width;
+            img[base + c] = (char)(((out[base + c - 1] & 255)
+                + (out[base + c] & 255) + (out[base + c + 1] & 255)) / 3);
+        }
+    int checksum = 0;
+    for (int i = 0; i < rows * width; i += 17)
+        checksum += img[i] & 255;
+    free(img); free(out);
+    return checksum % 1000000;
+}
+"""
+
+X264 = _COMMON + r"""
+// Motion estimation: block search of the current frame in the reference.
+int main(int n, int threads) {
+    g_threads = threads;
+    int width = 128;
+    int rows = n;
+    char *ref = (char*)malloc(rows * width);
+    char *cur = (char*)malloc(rows * width);
+    for (int i = 0; i < rows * width; i++) {
+        ref[i] = (char)((i * 31) % 241);
+        cur[i] = (char)(((i + 3) * 31) % 241);
+    }
+    int total_sad = 0;
+    for (int by = 0; by + 8 <= rows; by += 8)
+        for (int bx = 0; bx + 8 <= width; bx += 64) {
+            int best = 1 << 30;
+            for (int dy = -2; dy <= 2; dy++) {
+                if (by + dy < 0 || by + dy + 8 > rows) continue;
+                int sad = 0;
+                for (int y = 0; y < 8; y++)
+                    for (int x = 0; x < 8; x++) {
+                        int a = cur[(by + y) * width + bx + x] & 255;
+                        int b = ref[(by + dy + y) * width + bx + x] & 255;
+                        sad += a > b ? a - b : b - a;
+                    }
+                if (sad < best) best = sad;
+            }
+            total_sad += best;
+        }
+    free(ref); free(cur);
+    return total_sad % 1000000;
+}
+"""
+
+register(Workload(
+    "blackscholes", "parsec", BLACKSCHOLES,
+    sizes={"XS": 128, "S": 512, "M": 2048, "L": 8192, "XL": 32768},
+    threads=4, pointer_intensity="none",
+    description="option pricing over flat float arrays"))
+
+register(Workload(
+    "bodytrack", "parsec", BODYTRACK,
+    sizes={"XS": 128, "S": 512, "M": 2048, "L": 8192, "XL": 16384},
+    threads=1, pointer_intensity="high",
+    description="particle filter over an array of particle pointers"))
+
+register(Workload(
+    "dedup", "parsec", DEDUP,
+    sizes={"XS": 2048, "S": 8192, "M": 32768, "L": 131072, "XL": 262144},
+    threads=1, pointer_intensity="high",
+    description="chunking + pointer-dense dedup index (MPX crash case)"))
+
+register(Workload(
+    "ferret", "parsec", FERRET,
+    sizes={"XS": 64, "S": 256, "M": 1024, "L": 4096, "XL": 8192},
+    threads=1, pointer_intensity="medium",
+    description="similarity search across row-pointer database"))
+
+register(Workload(
+    "fluidanimate", "parsec", FLUIDANIMATE,
+    sizes={"XS": 256, "S": 1024, "M": 4096, "L": 16384, "XL": 32768},
+    threads=1, pointer_intensity="high",
+    description="grid cells with particle linked lists"))
+
+register(Workload(
+    "streamcluster", "parsec", STREAMCLUSTER,
+    sizes={"XS": 128, "S": 512, "M": 2048, "L": 8192, "XL": 16384},
+    threads=1, pointer_intensity="low",
+    description="online clustering of streamed points"))
+
+register(Workload(
+    "swaptions", "parsec", SWAPTIONS,
+    sizes={"XS": 64, "S": 256, "M": 1024, "L": 4096, "XL": 8192},
+    threads=1, pointer_intensity="medium",
+    description="tiny-object alloc/free churn (quarantine/BT pathology)"))
+
+register(Workload(
+    "vips", "parsec", VIPS,
+    sizes={"XS": 16, "S": 64, "M": 256, "L": 1024, "XL": 2048},
+    threads=1, pointer_intensity="none",
+    description="image pipeline over wide byte rows"))
+
+register(Workload(
+    "x264", "parsec", X264,
+    sizes={"XS": 16, "S": 32, "M": 64, "L": 128, "XL": 256},
+    threads=1, pointer_intensity="low",
+    description="block motion estimation (safe-access optimization target)"))

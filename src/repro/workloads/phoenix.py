@@ -1,0 +1,396 @@
+"""Phoenix 2.0 benchmark suite, re-implemented in MiniC (paper §6.1).
+
+All seven applications, with the memory-access character the paper's
+analysis hinges on: histogram/linear_regression stream flat arrays
+(pointer-free — near-zero MPX overhead), matrix_multiply walks columns
+(cache-unfriendly), pca and word_count are pointer-intensive (arrays of
+row pointers, chained hash tables — the MPX pathologies), kmeans iterates
+over its working set (the Fig. 8 EPC-thrashing study).
+
+Entry convention: ``int main(int n, int threads)``; returns a checksum so
+the harness can compare instrumented runs against native.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+_COMMON = r"""
+int g_n;
+int g_threads;
+"""
+
+HISTOGRAM = _COMMON + r"""
+char *g_data;
+int g_bins[256];
+int g_lock[1];
+
+int worker(int idx) {
+    int chunk = g_n / g_threads;
+    int start = idx * chunk;
+    int end = (idx == g_threads - 1) ? g_n : start + chunk;
+    int local[256];
+    for (int b = 0; b < 256; b++) local[b] = 0;
+    for (int i = start; i < end; i++) {
+        int v = g_data[i] & 255;
+        local[v] = local[v] + 1;
+    }
+    mutex_lock(g_lock);
+    for (int b = 0; b < 256; b++) g_bins[b] += local[b];
+    mutex_unlock(g_lock);
+    return 0;
+}
+
+int main(int n, int threads) {
+    g_n = n; g_threads = threads;
+    g_data = (char*)malloc(n);
+    for (int i = 0; i < n; i++) g_data[i] = (char)((i * 131 + 7) % 251);
+    int tids[16];
+    for (int t = 0; t < threads; t++) tids[t] = spawn(worker, t);
+    for (int t = 0; t < threads; t++) join(tids[t]);
+    int checksum = 0;
+    for (int b = 0; b < 256; b++) checksum += g_bins[b] * (b + 1);
+    free(g_data);
+    return checksum;
+}
+"""
+
+
+def _histogram_expected(n: int, threads: int) -> int:
+    bins = [0] * 256
+    for i in range(n):
+        value = (i * 131 + 7) % 251
+        bins[value & 255] += 1
+    return sum(count * (b + 1) for b, count in enumerate(bins))
+
+
+KMEANS = _COMMON + r"""
+double *g_points;
+int *g_assign;
+double g_cent[32];
+int g_counts[8];
+double g_sums[32];
+int g_dim;
+int g_k;
+int g_lock[1];
+
+int worker(int idx) {
+    int chunk = g_n / g_threads;
+    int start = idx * chunk;
+    int end = (idx == g_threads - 1) ? g_n : start + chunk;
+    for (int i = start; i < end; i++) {
+        double best = 1.0e30;
+        int bestk = 0;
+        for (int k = 0; k < g_k; k++) {
+            double d = 0.0;
+            for (int j = 0; j < g_dim; j++) {
+                double diff = g_points[i * g_dim + j] - g_cent[k * g_dim + j];
+                d += diff * diff;
+            }
+            if (d < best) { best = d; bestk = k; }
+        }
+        g_assign[i] = bestk;
+    }
+    return 0;
+}
+
+int main(int n, int threads) {
+    g_n = n; g_threads = threads; g_dim = 4; g_k = 8;
+    g_points = (double*)malloc(n * g_dim * sizeof(double));
+    g_assign = (int*)malloc(n * sizeof(int));
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < g_dim; j++)
+            g_points[i * g_dim + j] = (double)((i * 37 + j * 11) % 100);
+    for (int k = 0; k < g_k; k++)
+        for (int j = 0; j < g_dim; j++)
+            g_cent[k * g_dim + j] = (double)(k * 13 + j);
+    int tids[16];
+    for (int iter = 0; iter < 3; iter++) {
+        for (int t = 0; t < threads; t++) tids[t] = spawn(worker, t);
+        for (int t = 0; t < threads; t++) join(tids[t]);
+        // Recompute centroids.
+        for (int k = 0; k < g_k; k++) {
+            g_counts[k] = 0;
+            for (int j = 0; j < g_dim; j++) g_sums[k * g_dim + j] = 0.0;
+        }
+        for (int i = 0; i < n; i++) {
+            int k = g_assign[i];
+            g_counts[k] = g_counts[k] + 1;
+            for (int j = 0; j < g_dim; j++)
+                g_sums[k * g_dim + j] += g_points[i * g_dim + j];
+        }
+        for (int k = 0; k < g_k; k++)
+            if (g_counts[k] > 0)
+                for (int j = 0; j < g_dim; j++)
+                    g_cent[k * g_dim + j] =
+                        g_sums[k * g_dim + j] / (double)g_counts[k];
+    }
+    int checksum = 0;
+    for (int i = 0; i < n; i++) checksum += g_assign[i] * (i % 7 + 1);
+    free(g_points); free(g_assign);
+    return checksum;
+}
+"""
+
+LINEAR_REGRESSION = _COMMON + r"""
+int *g_xy;
+int g_sx[16]; int g_sy[16]; int g_sxx[16]; int g_sxy[16];
+
+int worker(int idx) {
+    int chunk = g_n / g_threads;
+    int start = idx * chunk;
+    int end = (idx == g_threads - 1) ? g_n : start + chunk;
+    int sx = 0; int sy = 0; int sxx = 0; int sxy = 0;
+    for (int i = start; i < end; i++) {
+        int x = g_xy[i * 2];
+        int y = g_xy[i * 2 + 1];
+        sx += x; sy += y; sxx += x * x; sxy += x * y;
+    }
+    g_sx[idx] = sx; g_sy[idx] = sy; g_sxx[idx] = sxx; g_sxy[idx] = sxy;
+    return 0;
+}
+
+int main(int n, int threads) {
+    g_n = n; g_threads = threads;
+    g_xy = (int*)malloc(n * 2 * sizeof(int));
+    for (int i = 0; i < n; i++) {
+        g_xy[i * 2] = i % 1000;
+        g_xy[i * 2 + 1] = (i * 3 + 17) % 1000;
+    }
+    int tids[16];
+    for (int t = 0; t < threads; t++) tids[t] = spawn(worker, t);
+    for (int t = 0; t < threads; t++) join(tids[t]);
+    int sx = 0; int sy = 0; int sxx = 0; int sxy = 0;
+    for (int t = 0; t < threads; t++) {
+        sx += g_sx[t]; sy += g_sy[t]; sxx += g_sxx[t]; sxy += g_sxy[t];
+    }
+    free(g_xy);
+    return (sx % 100007) + (sy % 100003) + (sxx % 99991) + (sxy % 99989);
+}
+"""
+
+
+def _linreg_expected(n: int, threads: int) -> int:
+    sx = sy = sxx = sxy = 0
+    for i in range(n):
+        x = i % 1000
+        y = (i * 3 + 17) % 1000
+        sx += x
+        sy += y
+        sxx += x * x
+        sxy += x * y
+    return (sx % 100007) + (sy % 100003) + (sxx % 99991) + (sxy % 99989)
+
+
+MATRIX_MULTIPLY = _COMMON + r"""
+double *g_a; double *g_b; double *g_c;
+int g_dim;
+
+int worker(int idx) {
+    int chunk = g_dim / g_threads;
+    int start = idx * chunk;
+    int end = (idx == g_threads - 1) ? g_dim : start + chunk;
+    int m = g_dim;
+    for (int i = start; i < end; i++)
+        for (int j = 0; j < m; j++) {
+            double acc = 0.0;
+            for (int k = 0; k < m; k++)
+                acc += g_a[i * m + k] * g_b[k * m + j];   // column walk in B
+            g_c[i * m + j] = acc;
+        }
+    return 0;
+}
+
+int main(int n, int threads) {
+    g_threads = threads;
+    g_dim = n;
+    int m = n;
+    g_a = (double*)malloc(m * m * sizeof(double));
+    g_b = (double*)malloc(m * m * sizeof(double));
+    g_c = (double*)malloc(m * m * sizeof(double));
+    for (int i = 0; i < m * m; i++) {
+        g_a[i] = (double)(i % 17);
+        g_b[i] = (double)(i % 13);
+    }
+    int tids[16];
+    for (int t = 0; t < threads; t++) tids[t] = spawn(worker, t);
+    for (int t = 0; t < threads; t++) join(tids[t]);
+    double trace = 0.0;
+    for (int i = 0; i < m; i++) trace += g_c[i * m + i];
+    free(g_a); free(g_b); free(g_c);
+    return (int)trace % 1000000;
+}
+"""
+
+PCA = _COMMON + r"""
+// Array-of-row-pointers layout: pca is the paper's pointer-intensive
+// Phoenix kernel (10x instructions / 25x L1 accesses under MPX).
+double **g_rows;
+int g_cols;
+double g_mean[32];
+
+int main(int n, int threads) {
+    g_threads = threads;
+    int rows = n;
+    g_cols = 8;
+    g_rows = (double**)malloc(rows * sizeof(double*));
+    for (int i = 0; i < rows; i++) {
+        double *row = (double*)malloc(g_cols * sizeof(double));
+        for (int j = 0; j < g_cols; j++)
+            row[j] = (double)((i * 7 + j * 3) % 50);
+        g_rows[i] = row;
+    }
+    // Column means.
+    for (int j = 0; j < g_cols; j++) {
+        double s = 0.0;
+        for (int i = 0; i < rows; i++) s += g_rows[i][j];
+        g_mean[j] = s / (double)rows;
+    }
+    // Covariance checksum (upper triangle).
+    double cov_sum = 0.0;
+    for (int a = 0; a < g_cols; a++)
+        for (int b = a; b < g_cols; b++) {
+            double s = 0.0;
+            for (int i = 0; i < rows; i++)
+                s += (g_rows[i][a] - g_mean[a]) * (g_rows[i][b] - g_mean[b]);
+            cov_sum += s / (double)(rows - 1);
+        }
+    for (int i = 0; i < rows; i++) free(g_rows[i]);
+    free(g_rows);
+    return (int)cov_sum % 1000000;
+}
+"""
+
+STRING_MATCH = _COMMON + r"""
+char *g_text;
+int g_hits[16];
+
+int worker(int idx) {
+    int chunk = g_n / g_threads;
+    int start = idx * chunk;
+    int end = (idx == g_threads - 1) ? g_n - 4 : start + chunk;
+    int hits = 0;
+    for (int i = start; i < end; i++) {
+        if (g_text[i] == 'k' && g_text[i+1] == 'e' && g_text[i+2] == 'y'
+                && g_text[i+3] == '!')
+            hits++;
+    }
+    g_hits[idx] = hits;
+    return 0;
+}
+
+int main(int n, int threads) {
+    g_n = n; g_threads = threads;
+    g_text = (char*)malloc(n + 8);
+    for (int i = 0; i < n; i++)
+        g_text[i] = (char)('a' + (i * 31 + 5) % 26);
+    // Plant deterministic needles.
+    for (int i = 64; i + 4 < n; i += 257) {
+        g_text[i] = 'k'; g_text[i+1] = 'e'; g_text[i+2] = 'y'; g_text[i+3] = '!';
+    }
+    int tids[16];
+    for (int t = 0; t < threads; t++) tids[t] = spawn(worker, t);
+    for (int t = 0; t < threads; t++) join(tids[t]);
+    int total = 0;
+    for (int t = 0; t < threads; t++) total += g_hits[t];
+    free(g_text);
+    return total;
+}
+"""
+
+WORD_COUNT = _COMMON + r"""
+// Chained hash table of words: pointer-chasing and allocation churn.
+struct WNode { int hash; int count; struct WNode *next; };
+struct WNode *g_table[256];
+
+int main(int n, int threads) {
+    g_threads = threads;
+    char *text = (char*)malloc(n + 1);
+    for (int i = 0; i < n; i++) {
+        int r = (i * 131 + 7) % 29;
+        text[i] = (char)(r < 5 ? ' ' : 'a' + r % 26);
+    }
+    text[n] = ' ';
+    int h = 0;
+    int in_word = 0;
+    int words = 0;
+    for (int i = 0; i <= n; i++) {
+        char c = text[i];
+        if (c != ' ') {
+            h = h * 31 + c;
+            in_word = 1;
+        } else if (in_word) {
+            int bucket = (h & 0x7FFFFFFF) % 256;
+            struct WNode *node = g_table[bucket];
+            while (node && node->hash != h) node = node->next;
+            if (node) {
+                node->count = node->count + 1;
+            } else {
+                struct WNode *fresh =
+                    (struct WNode*)malloc(sizeof(struct WNode));
+                fresh->hash = h;
+                fresh->count = 1;
+                fresh->next = g_table[bucket];
+                g_table[bucket] = fresh;
+            }
+            words++;
+            h = 0;
+            in_word = 0;
+        }
+    }
+    int distinct = 0;
+    int checksum = 0;
+    for (int b = 0; b < 256; b++) {
+        struct WNode *node = g_table[b];
+        while (node) {
+            distinct++;
+            checksum += node->count;
+            node = node->next;
+        }
+    }
+    free(text);
+    return checksum * 3 + distinct + words % 1000;
+}
+"""
+
+register(Workload(
+    "histogram", "phoenix", HISTOGRAM,
+    sizes={"XS": 4096, "S": 16384, "M": 65536, "L": 262144, "XL": 1048576},
+    threads=4, expected=_histogram_expected, pointer_intensity="none",
+    description="byte histogram over a flat array (streaming, pointer-free)"))
+
+register(Workload(
+    "kmeans", "phoenix", KMEANS,
+    sizes={"XS": 256, "S": 1024, "M": 4096, "L": 16384, "XL": 65536},
+    threads=4, pointer_intensity="low",
+    description="iterative clustering; the Fig. 8 EPC-thrashing study"))
+
+register(Workload(
+    "linear_regression", "phoenix", LINEAR_REGRESSION,
+    sizes={"XS": 2048, "S": 8192, "M": 32768, "L": 131072, "XL": 524288},
+    threads=4, expected=_linreg_expected, pointer_intensity="none",
+    description="streaming sums over (x, y) pairs"))
+
+register(Workload(
+    "matrix_multiply", "phoenix", MATRIX_MULTIPLY,
+    sizes={"XS": 8, "S": 16, "M": 24, "L": 40, "XL": 64},
+    threads=4, pointer_intensity="none",
+    description="dense matmul with cache-unfriendly column walks (Fig. 8)"))
+
+register(Workload(
+    "pca", "phoenix", PCA,
+    sizes={"XS": 128, "S": 512, "M": 1024, "L": 2048, "XL": 4096},
+    threads=1, pointer_intensity="high",
+    description="covariance over an array of row pointers (MPX worst case)"))
+
+register(Workload(
+    "string_match", "phoenix", STRING_MATCH,
+    sizes={"XS": 4096, "S": 16384, "M": 65536, "L": 262144, "XL": 1048576},
+    threads=4, pointer_intensity="none",
+    description="needle scan over synthetic text"))
+
+register(Workload(
+    "word_count", "phoenix", WORD_COUNT,
+    sizes={"XS": 2048, "S": 8192, "M": 24576, "L": 65536, "XL": 262144},
+    threads=1, pointer_intensity="high",
+    description="chained-hash word counting (pointer-chasing + churn)"))

@@ -1,0 +1,446 @@
+"""SPEC CPU2006 subset in MiniC — the 13 programs the paper reports
+(§6.7; dealII/omnetpp/povray/perlbench/gcc/soplex are excluded there too).
+
+These are single-threaded, more CPU-bound kernels (``threads`` is accepted
+and ignored, matching the suite convention).  Pointer-heavy members (mcf,
+xalancbmk, astar) stress metadata schemes; float kernels (lbm, milc, namd,
+sphinx3) stream arrays.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload, register
+
+_HDR = "int g_n; int g_threads;\n"
+
+ASTAR = _HDR + r"""
+// Grid path search with an open list of node pointers.
+struct ANode { int x; int y; int cost; struct ANode *next; };
+
+int main(int n, int threads) {
+    int dim = n;
+    char *blocked = (char*)malloc(dim * dim);
+    for (int i = 0; i < dim * dim; i++)
+        blocked[i] = (char)(((i * 2654435761) >> 9 & 7) == 0 ? 1 : 0);
+    int *dist = (int*)malloc(dim * dim * sizeof(int));
+    for (int i = 0; i < dim * dim; i++) dist[i] = 1 << 29;
+    struct ANode *open = (struct ANode*)malloc(sizeof(struct ANode));
+    open->x = 0; open->y = 0; open->cost = 0; open->next = (struct ANode*)0;
+    dist[0] = 0;
+    int expanded = 0;
+    while (open) {
+        struct ANode *cur = open;
+        open = open->next;
+        expanded++;
+        int cx = cur->x; int cy = cur->y; int cc = cur->cost;
+        free(cur);
+        // 4-neighbourhood relaxation.
+        for (int d = 0; d < 4; d++) {
+            int nx = cx + (d == 0) - (d == 1);
+            int ny = cy + (d == 2) - (d == 3);
+            if (nx < 0 || ny < 0 || nx >= dim || ny >= dim) continue;
+            int id = ny * dim + nx;
+            if (blocked[id]) continue;
+            int nc = cc + 1;
+            if (nc < dist[id]) {
+                dist[id] = nc;
+                struct ANode *nn = (struct ANode*)malloc(sizeof(struct ANode));
+                nn->x = nx; nn->y = ny; nn->cost = nc; nn->next = open;
+                open = nn;
+            }
+        }
+    }
+    int goal = dist[dim * dim - 1];
+    free(blocked); free(dist);
+    return (goal % 100000) + expanded % 1000;
+}
+"""
+
+BZIP2 = _HDR + r"""
+// Run-length + move-to-front over a block, like the bzip2 front stages.
+int main(int n, int threads) {
+    char *block = (char*)malloc(n);
+    for (int i = 0; i < n; i++)
+        block[i] = (char)('a' + ((i / 7) * 13 + i) % 16);
+    char mtf[256];
+    for (int i = 0; i < 256; i++) mtf[i] = (char)i;
+    int out_sum = 0;
+    int run = 0;
+    char prev = (char)-1;
+    for (int i = 0; i < n; i++) {
+        char c = block[i];
+        if (c == prev) { run++; continue; }
+        out_sum += run;
+        run = 1; prev = c;
+        // Move-to-front coding.
+        int pos = 0;
+        while (mtf[pos] != c) pos++;
+        for (int j = pos; j > 0; j--) mtf[j] = mtf[j - 1];
+        mtf[0] = c;
+        out_sum += pos;
+    }
+    free(block);
+    return out_sum % 1000000;
+}
+"""
+
+GOBMK = _HDR + r"""
+// Board evaluation with recursive group flood-fill (Go-like liberties).
+char g_board[361];
+char g_seen[361];
+
+int flood(int pos, int dim, char color) {
+    if (pos < 0 || pos >= dim * dim) return 0;
+    if (g_seen[pos] || g_board[pos] != color) return 0;
+    g_seen[pos] = 1;
+    int size = 1;
+    if (pos % dim != 0) size += flood(pos - 1, dim, color);
+    if (pos % dim != dim - 1) size += flood(pos + 1, dim, color);
+    size += flood(pos - dim, dim, color);
+    size += flood(pos + dim, dim, color);
+    return size;
+}
+
+int main(int n, int threads) {
+    int dim = 19;
+    int score = 0;
+    for (int game = 0; game < n; game++) {
+        for (int i = 0; i < dim * dim; i++) {
+            g_board[i] = (char)((i * 7 + game * 31) % 3);
+            g_seen[i] = 0;
+        }
+        for (int i = 0; i < dim * dim; i++)
+            if (!g_seen[i] && g_board[i] != 0)
+                score += flood(i, dim, g_board[i]);
+    }
+    return score % 1000000;
+}
+"""
+
+H264REF = _HDR + r"""
+int main(int n, int threads) {
+    int width = 64;
+    int rows = n;
+    char *frame = (char*)malloc(rows * width);
+    int *resid = (int*)malloc(rows * width * sizeof(int));
+    for (int i = 0; i < rows * width; i++)
+        frame[i] = (char)((i * 97) % 253);
+    // Intra prediction + residual, 4x4 blocks.
+    int sum = 0;
+    for (int by = 0; by + 4 <= rows; by += 4)
+        for (int bx = 0; bx + 4 <= width; bx += 4) {
+            int dc = 0;
+            for (int x = 0; x < 4; x++)
+                dc += frame[by * width + bx + x] & 255;
+            dc /= 4;
+            for (int y = 0; y < 4; y++)
+                for (int x = 0; x < 4; x++) {
+                    int id = (by + y) * width + bx + x;
+                    resid[id] = (frame[id] & 255) - dc;
+                    sum += resid[id] > 0 ? resid[id] : -resid[id];
+                }
+        }
+    free(frame); free(resid);
+    return sum % 1000000;
+}
+"""
+
+HMMER = _HDR + r"""
+// Viterbi-style dynamic programming over a profile.
+int main(int n, int threads) {
+    int states = 32;
+    int *prev = (int*)malloc(states * sizeof(int));
+    int *cur = (int*)malloc(states * sizeof(int));
+    for (int s = 0; s < states; s++) prev[s] = s * 3 % 17;
+    for (int t = 0; t < n; t++) {
+        int obs = (t * 131 + 7) % 23;
+        for (int s = 0; s < states; s++) {
+            int stay = prev[s] + obs % 5;
+            int move = (s > 0 ? prev[s - 1] : 1 << 20) + obs % 7;
+            cur[s] = (stay < move ? stay : move) + (s ^ obs) % 3;
+        }
+        int *tmp = prev; prev = cur; cur = tmp;
+    }
+    int best = 1 << 30;
+    for (int s = 0; s < states; s++) if (prev[s] < best) best = prev[s];
+    free(prev); free(cur);
+    return best % 1000000;
+}
+"""
+
+LBM = _HDR + r"""
+// 1D lattice-Boltzmann-ish 3-point stencil over doubles.
+int main(int n, int threads) {
+    double *a = (double*)malloc(n * sizeof(double));
+    double *b = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < n; i++) a[i] = (double)(i % 29);
+    for (int step = 0; step < 10; step++) {
+        for (int i = 1; i < n - 1; i++)
+            b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+        b[0] = a[0]; b[n - 1] = a[n - 1];
+        double *tmp = a; a = b; b = tmp;
+    }
+    double sum = 0.0;
+    for (int i = 0; i < n; i += 3) sum += a[i];
+    free(a); free(b);
+    return (int)sum % 1000000;
+}
+"""
+
+LIBQUANTUM = _HDR + r"""
+// Quantum register simulation: phase flips over a sparse state table.
+int main(int n, int threads) {
+    int *states = (int*)malloc(n * sizeof(int));
+    int *amps = (int*)malloc(n * sizeof(int));
+    for (int i = 0; i < n; i++) { states[i] = i * 2654435761 & 0xFFFFF; amps[i] = 1; }
+    for (int gate = 0; gate < 12; gate++) {
+        int mask = 1 << (gate % 16);
+        for (int i = 0; i < n; i++) {
+            if (states[i] & mask) amps[i] = -amps[i];
+            states[i] ^= mask >> 1;
+        }
+    }
+    int sum = 0;
+    for (int i = 0; i < n; i++) sum += amps[i] * (states[i] % 7);
+    free(states); free(amps);
+    return sum % 1000000;
+}
+"""
+
+MCF = _HDR + r"""
+// Min-cost-flow-ish relaxation over a pointer-linked arc network.  The
+// paper's headline ASan EPC-thrashing case (2.4x vs 1% for SGXBounds).
+struct Arc { int to; int cost; struct Arc *next; };
+struct Arc **g_adj;
+
+int main(int n, int threads) {
+    int nodes = n;
+    g_adj = (struct Arc**)malloc(nodes * sizeof(struct Arc*));
+    for (int i = 0; i < nodes; i++) g_adj[i] = (struct Arc*)0;
+    for (int i = 0; i < nodes; i++) {
+        for (int e = 0; e < 3; e++) {
+            struct Arc *a = (struct Arc*)malloc(sizeof(struct Arc));
+            a->to = (i * 7919 + e * 104729) % nodes;
+            a->cost = (i + e * 31) % 50 + 1;
+            a->next = g_adj[i];
+            g_adj[i] = a;
+        }
+    }
+    int *potential = (int*)malloc(nodes * sizeof(int));
+    for (int i = 0; i < nodes; i++) potential[i] = 1 << 20;
+    potential[0] = 0;
+    for (int round = 0; round < 12; round++) {
+        int changed = 0;
+        for (int i = 0; i < nodes; i++) {
+            struct Arc *a = g_adj[i];
+            while (a) {
+                int cand = potential[i] + a->cost;
+                if (cand < potential[a->to]) { potential[a->to] = cand; changed = 1; }
+                a = a->next;
+            }
+        }
+        if (!changed) break;
+    }
+    int sum = 0;
+    for (int i = 0; i < nodes; i++)
+        if (potential[i] < (1 << 20)) sum += potential[i];
+    free(potential);
+    return sum % 1000000;
+}
+"""
+
+MILC = _HDR + r"""
+// Lattice site updates: complex-like 2-vectors of doubles.
+int main(int n, int threads) {
+    double *re = (double*)malloc(n * sizeof(double));
+    double *im = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < n; i++) { re[i] = (double)(i % 17); im[i] = (double)(i % 5); }
+    for (int sweep = 0; sweep < 8; sweep++) {
+        for (int i = 0; i < n; i++) {
+            int j = (i + 1) % n;
+            double nr = re[i] * re[j] - im[i] * im[j];
+            double ni = re[i] * im[j] + im[i] * re[j];
+            re[i] = nr * 0.125 + re[i] * 0.875;
+            im[i] = ni * 0.125 + im[i] * 0.875;
+        }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < n; i += 2) sum += re[i] + im[i];
+    free(re); free(im);
+    return (int)sum % 1000000;
+}
+"""
+
+NAMD = _HDR + r"""
+// Pairwise short-range forces within a cutoff window.
+int main(int n, int threads) {
+    double *x = (double*)malloc(n * sizeof(double));
+    double *f = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < n; i++) { x[i] = (double)(i % 100) * 0.5; f[i] = 0.0; }
+    for (int step = 0; step < 4; step++) {
+        for (int i = 0; i < n; i++) {
+            double xi = x[i];
+            double force = 0.0;
+            int lo = i - 8 < 0 ? 0 : i - 8;
+            int hi = i + 8 >= n ? n - 1 : i + 8;
+            for (int j = lo; j <= hi; j++) {
+                if (j == i) continue;
+                double d = x[j] - xi;
+                if (d < 0.0) d = -d;
+                if (d < 4.0 && d > 0.01) force += 1.0 / (d * d) - 0.5 / d;
+            }
+            f[i] = force;
+        }
+        for (int i = 0; i < n; i++) x[i] += f[i] * 0.001;
+    }
+    double sum = 0.0;
+    for (int i = 0; i < n; i += 5) sum += x[i];
+    free(x); free(f);
+    return (int)sum % 1000000;
+}
+"""
+
+SJENG = _HDR + r"""
+// Alpha-beta-ish game tree search with a small evaluation.
+int g_board2[64];
+
+int search(int depth, int alpha, int beta, int seed) {
+    if (depth == 0) {
+        int eval = 0;
+        for (int i = 0; i < 64; i++) eval += g_board2[i] * ((i + seed) % 5 - 2);
+        return eval % 1000;
+    }
+    int best = -100000;
+    for (int move = 0; move < 4; move++) {
+        int square = (seed * 31 + move * 17) % 64;
+        int saved = g_board2[square];
+        g_board2[square] = (saved + 1) % 3;
+        int score = -search(depth - 1, -beta, -alpha, seed * 7 + move);
+        g_board2[square] = saved;
+        if (score > best) best = score;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;
+    }
+    return best;
+}
+
+int main(int n, int threads) {
+    for (int i = 0; i < 64; i++) g_board2[i] = i % 3;
+    int total = 0;
+    for (int game = 0; game < n; game++)
+        total += search(4, -100000, 100000, game + 1);
+    return total % 1000000;
+}
+"""
+
+SPHINX3 = _HDR + r"""
+// Gaussian mixture scoring over feature frames.
+int main(int n, int threads) {
+    int dims = 16;
+    int mixes = 8;
+    double *means = (double*)malloc(mixes * dims * sizeof(double));
+    double *feat = (double*)malloc(dims * sizeof(double));
+    for (int m = 0; m < mixes * dims; m++) means[m] = (double)(m % 23);
+    double total = 0.0;
+    for (int frame = 0; frame < n; frame++) {
+        for (int d = 0; d < dims; d++)
+            feat[d] = (double)((frame * 13 + d * 7) % 23);
+        double best = 1.0e30;
+        for (int m = 0; m < mixes; m++) {
+            double score = 0.0;
+            for (int d = 0; d < dims; d++) {
+                double diff = feat[d] - means[m * dims + d];
+                score += diff * diff;
+            }
+            if (score < best) best = score;
+        }
+        total += best;
+    }
+    free(means); free(feat);
+    return (int)total % 1000000;
+}
+"""
+
+XALANCBMK = _HDR + r"""
+// XSLT-ish tree transform: build a document tree, then rewrite it.
+struct XNode { int tag; int value; struct XNode *child; struct XNode *sibling; };
+
+struct XNode *build(int depth, int seed) {
+    struct XNode *node = (struct XNode*)malloc(sizeof(struct XNode));
+    node->tag = seed % 7;
+    node->value = seed % 97;
+    node->child = (struct XNode*)0;
+    node->sibling = (struct XNode*)0;
+    if (depth > 0) {
+        struct XNode *prev = (struct XNode*)0;
+        for (int c = 0; c < 3; c++) {
+            struct XNode *kid = build(depth - 1, seed * 5 + c + 1);
+            kid->sibling = prev;
+            prev = kid;
+        }
+        node->child = prev;
+    }
+    return node;
+}
+
+int transform(struct XNode *node, int depth) {
+    if (!node) return 0;
+    int sum = node->value * (node->tag + 1) + depth;
+    if (node->tag == 3) node->value = node->value * 2 % 97;
+    sum += transform(node->child, depth + 1);
+    sum += transform(node->sibling, depth);
+    return sum;
+}
+
+int release(struct XNode *node) {
+    if (!node) return 0;
+    int freed = release(node->child) + release(node->sibling) + 1;
+    free(node);
+    return freed;
+}
+
+int main(int n, int threads) {
+    int total = 0;
+    for (int doc = 0; doc < n; doc++) {
+        struct XNode *root = build(4, doc + 11);
+        total += transform(root, 0) % 10007;
+        release(root);
+    }
+    return total % 1000000;
+}
+"""
+
+_SPEC = [
+    ("astar", ASTAR, {"XS": 12, "S": 20, "M": 32, "L": 48, "XL": 64}, "high",
+     "grid path search with pointer open list"),
+    ("bzip2", BZIP2, {"XS": 1024, "S": 4096, "M": 16384, "L": 65536,
+                      "XL": 131072}, "low",
+     "run-length + move-to-front coding"),
+    ("gobmk", GOBMK, {"XS": 2, "S": 6, "M": 16, "L": 40, "XL": 80}, "low",
+     "recursive board flood-fill"),
+    ("h264ref", H264REF, {"XS": 16, "S": 48, "M": 128, "L": 384, "XL": 768},
+     "low", "intra prediction residuals"),
+    ("hmmer", HMMER, {"XS": 256, "S": 1024, "M": 4096, "L": 16384,
+                      "XL": 32768}, "low", "Viterbi dynamic programming"),
+    ("lbm", LBM, {"XS": 512, "S": 2048, "M": 8192, "L": 32768, "XL": 65536},
+     "none", "3-point stencil over doubles"),
+    ("libquantum", LIBQUANTUM, {"XS": 512, "S": 2048, "M": 8192, "L": 32768,
+                                "XL": 65536}, "none",
+     "bit-mask sweeps over state arrays"),
+    ("mcf", MCF, {"XS": 64, "S": 256, "M": 1024, "L": 4096, "XL": 8192},
+     "high", "relaxation over pointer-linked arcs (ASan EPC case)"),
+    ("milc", MILC, {"XS": 512, "S": 2048, "M": 8192, "L": 32768, "XL": 65536},
+     "none", "complex lattice sweeps"),
+    ("namd", NAMD, {"XS": 128, "S": 512, "M": 2048, "L": 8192, "XL": 16384},
+     "none", "cutoff pairwise forces"),
+    ("sjeng", SJENG, {"XS": 4, "S": 16, "M": 64, "L": 256, "XL": 512}, "low",
+     "alpha-beta game search"),
+    ("sphinx3", SPHINX3, {"XS": 64, "S": 256, "M": 1024, "L": 4096,
+                          "XL": 8192}, "none", "Gaussian mixture scoring"),
+    ("xalancbmk", XALANCBMK, {"XS": 2, "S": 8, "M": 24, "L": 64, "XL": 128},
+     "high", "tree build/transform/release churn"),
+]
+
+for _name, _src, _sizes, _ptr, _desc in _SPEC:
+    register(Workload(_name, "spec", _src, sizes=_sizes, threads=1,
+                      pointer_intensity=_ptr, description=_desc))

@@ -1,0 +1,182 @@
+"""Baggy Bounds extension tests (paper §2.2, implemented here)."""
+
+import pytest
+
+from repro.baggy import BaggyScheme
+from repro.errors import BoundsViolation, SegmentationFault
+from tests.util import run_c
+
+
+class TestDetection:
+    def test_far_overflow_raises_violation(self):
+        """Arithmetic leaving the block by more than half a slot raises
+        at the pointer-arithmetic site (Baggy checks arithmetic)."""
+        src = """
+        int main() {
+            char *p = (char*)malloc(48);
+            int i = 200;
+            p[i] = 1;
+            return 0;
+        }
+        """
+        with pytest.raises(BoundsViolation) as err:
+            run_c(src, scheme=BaggyScheme())
+        assert err.value.scheme == "baggy"
+
+    def test_one_past_end_marked_and_faults_on_deref(self):
+        """Index 64 of a 64-byte block: the pointer is OOB-marked (legal
+        to hold, faults on dereference — Baggy's hardware-trap path)."""
+        src = """
+        int main() {
+            char *p = (char*)malloc(48);
+            int i = 64;
+            p[i] = 1;
+            return 0;
+        }
+        """
+        with pytest.raises((BoundsViolation, SegmentationFault)):
+            run_c(src, scheme=BaggyScheme())
+
+    def test_end_pointer_loop_idiom_works(self):
+        """`cursor < p + n` loops survive: the one-past-end pointer is
+        marked but never dereferenced."""
+        src = """
+        int main() {
+            int *p = (int*)malloc(8 * sizeof(int));
+            for (int i = 0; i < 8; i++) p[i] = i;
+            int s = 0;
+            int *end = p + 8;
+            for (int *c = p; c < end; c++) s += *c;
+            return s;
+        }
+        """
+        value, _ = run_c(src, scheme=BaggyScheme())
+        assert value == sum(range(8))
+
+    def test_padding_overflows_are_missed(self):
+        """Baggy's documented weakness: allocation bounds, not object
+        bounds — the power-of-two padding is accessible."""
+        src = """
+        int main() {
+            char *p = (char*)malloc(48);
+            int i = 60;          // past the object, inside the 64B block
+            p[i] = 1;
+            return p[i];
+        }
+        """
+        value, _ = run_c(src, scheme=BaggyScheme())
+        assert value == 1
+
+    def test_exact_power_of_two_objects_fully_protected(self):
+        src_ok = """
+        int main() { char *p = (char*)malloc(64); p[63] = 1; return p[63]; }
+        """
+        value, _ = run_c(src_ok, scheme=BaggyScheme())
+        assert value == 1
+        src_bad = """
+        int main() { char *p = (char*)malloc(64); int i = 80; p[i] = 1; return 0; }
+        """
+        with pytest.raises(BoundsViolation):
+            run_c(src_bad, scheme=BaggyScheme())
+
+    def test_underflow_detected(self):
+        src = """
+        int main() {
+            char *p = (char*)malloc(64);
+            int i = -1;
+            return p[i];       // marked on arithmetic, faults on load
+        }
+        """
+        with pytest.raises((BoundsViolation, SegmentationFault)):
+            run_c(src, scheme=BaggyScheme())
+
+    def test_libc_wrapper_checks(self):
+        src = """
+        int main() {
+            char *p = (char*)malloc(48);
+            memset(p, 1, 128);     // beyond the 64-byte block
+            return 0;
+        }
+        """
+        with pytest.raises(BoundsViolation, match="libc"):
+            run_c(src, scheme=BaggyScheme())
+
+
+class TestTransparency:
+    def test_results_match_native(self):
+        src = """
+        struct Node { int v; struct Node *next; };
+        int main() {
+            struct Node *head = (struct Node*)0;
+            for (int i = 0; i < 12; i++) {
+                struct Node *n = (struct Node*)malloc(sizeof(struct Node));
+                n->v = i; n->next = head; head = n;
+            }
+            int s = 0;
+            while (head) { s += head->v; head = head->next; }
+            return s;
+        }
+        """
+        native, _ = run_c(src)
+        protected, _ = run_c(src, scheme=BaggyScheme())
+        assert protected == native
+
+    def test_stack_and_globals_unchecked_but_functional(self):
+        """This variant protects the heap (like the Low Fat prototype);
+        stack/global accesses read table byte 0 and pass through."""
+        src = """
+        int g[8];
+        int main() {
+            int buf[8];
+            for (int i = 0; i < 8; i++) { buf[i] = i; g[i] = i * 2; }
+            int s = 0;
+            for (int i = 0; i < 8; i++) s += buf[i] + g[i];
+            return s;
+        }
+        """
+        value, _ = run_c(src, scheme=BaggyScheme())
+        assert value == sum(i + i * 2 for i in range(8))
+
+    def test_free_clears_table(self):
+        """After free, the table no longer claims the block, so stale
+        pointers fall back to unchecked (matching Baggy's semantics)."""
+        src = """
+        int main() {
+            char *p = (char*)malloc(32);
+            free(p);
+            char *q = (char*)malloc(32);   // buddy reuses the block
+            q[0] = 5;
+            return q[0];
+        }
+        """
+        value, _ = run_c(src, scheme=BaggyScheme())
+        assert value == 5
+
+
+class TestOverheadCharacter:
+    def test_padding_memory_overhead_reported(self):
+        """Power-of-two rounding wastes memory (paper: ~12%)."""
+        src = """
+        int main() {
+            for (int i = 0; i < 16; i++) {
+                char *p = (char*)malloc(40);   // 64B blocks: 24B wasted
+                p[0] = 1;
+            }
+            return 0;
+        }
+        """
+        scheme = BaggyScheme()
+        _, vm = run_c(src, scheme=scheme)
+        report = scheme.memory_overhead_report(vm)
+        assert report["padding_bytes"] == 16 * 24
+
+    def test_perf_overhead_between_native_and_sgxbounds_neighborhood(self):
+        """Baggy inserts table loads + mask math per access: measurable,
+        same order of magnitude as the other software schemes."""
+        from repro.harness.runner import run_workload, SCHEMES
+        from repro.workloads import get
+        SCHEMES.setdefault("baggy", BaggyScheme)
+        native = run_workload(get("histogram"), "native", size="XS", threads=1)
+        baggy = run_workload(get("histogram"), "baggy", size="XS", threads=1)
+        assert baggy.ok and baggy.result == native.result
+        assert 1.0 < baggy.cycles / native.cycles < 5.0

@@ -1,0 +1,119 @@
+"""Boundless-memory tests (paper §4.2): failure-oblivious overlay."""
+
+import pytest
+
+from repro.core import BoundlessCache, SGXBoundsScheme
+from repro.vm import VM
+from tests.util import run_c
+
+
+def run_boundless(src, **kw):
+    scheme = SGXBoundsScheme(boundless=True)
+    value, vm = run_c(src, scheme=scheme, **kw)
+    return value, vm, scheme
+
+
+class TestOverlaySemantics:
+    def test_oob_write_does_not_corrupt_neighbour(self):
+        """The central §4.2 property: the overflow goes to the overlay, so
+        the adjacent object is untouched and execution continues."""
+        src = """
+        int main() {
+            int *a = (int*)malloc(4 * sizeof(int));
+            int *b = (int*)malloc(4 * sizeof(int));
+            b[0] = 777;
+            for (int i = 0; i <= 8; i++) a[i] = -1;   // way past a's end
+            return b[0];
+        }
+        """
+        value, _, scheme = run_boundless(src)
+        assert value == 777
+        assert scheme.violations > 0
+
+    def test_oob_read_returns_zero(self):
+        src = """
+        int main() {
+            int *a = (int*)malloc(4 * sizeof(int));
+            a[0] = 123;
+            return a[100];    // failure-oblivious read: zeros
+        }
+        """
+        value, _, _ = run_boundless(src)
+        assert value == 0
+
+    def test_oob_read_after_oob_write_sees_value(self):
+        """Boundless blocks behave like 'boundless' object memory: an OOB
+        write followed by an OOB read at the same address round-trips."""
+        src = """
+        int main() {
+            int *a = (int*)malloc(4 * sizeof(int));
+            a[10] = 4242;
+            return a[10];
+        }
+        """
+        value, _, _ = run_boundless(src)
+        assert value == 4242
+
+    def test_in_bounds_results_identical_to_failstop(self):
+        src = """
+        int main() {
+            int *a = (int*)malloc(16 * sizeof(int));
+            int s = 0;
+            for (int i = 0; i < 16; i++) a[i] = i * 3;
+            for (int i = 0; i < 16; i++) s += a[i];
+            free(a);
+            return s;
+        }
+        """
+        strict, _ = run_c(src, scheme=SGXBoundsScheme())
+        loose, _, _ = run_boundless(src)
+        assert strict == loose == sum(i * 3 for i in range(16))
+
+    def test_giant_negative_size_bug_survives(self):
+        """Integer-overflow-sized OOB spans must not exhaust memory — the
+        LRU cap bounds the overlay (paper: gigabytes of OOB writes)."""
+        src = """
+        int main() {
+            char *p = (char*)malloc(16);
+            // Walk megabytes past the end, 4KB strides.
+            for (uint off = 16; off < 4000000; off += 4096) p[off] = 1;
+            return 7;
+        }
+        """
+        value, vm, scheme = run_boundless(src)
+        assert value == 7
+        stats = scheme.overlay.stats()
+        assert stats["chunks_live"] <= scheme.overlay.capacity_chunks
+
+    def test_lru_eviction_recycles_chunks(self):
+        cache = BoundlessCache(capacity_bytes=4096, chunk_size=1024)
+        vm = VM(scheme=SGXBoundsScheme(boundless=True))
+        for i in range(10):
+            cache.translate(vm, 0x900000 + i * 2048, 8, is_write=True)
+        assert cache.evictions >= 6
+        assert len(cache._chunks) <= cache.capacity_chunks
+
+
+class TestErrnoStyleWrappers:
+    def test_recv_into_small_buffer_returns_error(self):
+        """Paper §5.1: libc wrappers return an error code (EINVAL) instead
+        of going failure-oblivious, letting servers drop bad requests."""
+        from repro.workloads.netsim import NetworkSim   # noqa: deferred
+        src = """
+        int main() {
+            char buf[16];
+            int r = net_recv(0, buf, 64);   // claims more than buf holds
+            if (r < 0) return 99;           // EINVAL path
+            return r;
+        }
+        """
+        scheme = SGXBoundsScheme(boundless=True)
+        from tests.util import build
+        from repro.vm import VM as _VM
+        module = build(src, scheme)
+        vm = _VM(scheme=scheme)
+        vm.net = NetworkSim()
+        vm.net.connect(b"X" * 64)
+        vm.load(module)
+        value = vm.run("main")
+        assert value == 99

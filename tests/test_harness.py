@@ -1,0 +1,107 @@
+"""Harness tests: runner, overhead computation, report formatting."""
+
+import math
+
+import pytest
+
+from repro.harness import report
+from repro.harness.runner import (
+    RunResult,
+    geomean,
+    overhead,
+    run_workload,
+    sweep,
+)
+from repro.sgx import EnclaveConfig
+from repro.workloads import get
+
+
+class TestRunner:
+    def test_run_workload_native(self):
+        r = run_workload(get("histogram"), "native", size="XS", threads=1)
+        assert r.ok
+        assert r.cycles > 0
+        assert r.counters["instructions"] > 0
+        assert r.peak_reserved > 0
+
+    def test_expected_oracle_agrees(self):
+        workload = get("histogram")
+        r = run_workload(workload, "native", size="XS", threads=2)
+        assert r.result == workload.expected(*workload.args_for("XS", 2))
+
+    def test_instrumented_matches_native(self):
+        workload = get("linear_regression")
+        native = run_workload(workload, "native", size="XS", threads=1)
+        for scheme in ("sgxbounds", "asan", "mpx"):
+            r = run_workload(workload, scheme, size="XS", threads=1)
+            assert r.ok and r.result == native.result, scheme
+
+    def test_crash_recorded_not_raised(self):
+        config = EnclaveConfig(commit_limit_bytes=32 * 1024)
+        r = run_workload(get("dedup"), "native", size="M", config=config)
+        assert not r.ok
+        assert r.crashed == "OOM"
+
+    def test_scheme_kwargs_forwarded(self):
+        r = run_workload(get("histogram"), "sgxbounds", size="XS",
+                         scheme_kwargs={"optimize_safe": False,
+                                        "optimize_hoist": False})
+        assert r.ok
+
+    def test_deterministic_cycles(self):
+        a = run_workload(get("histogram"), "sgxbounds", size="XS", threads=2)
+        b = run_workload(get("histogram"), "sgxbounds", size="XS", threads=2)
+        assert a.cycles == b.cycles
+        assert a.counters == b.counters
+
+
+class TestOverhead:
+    def test_overhead_ratios(self):
+        results = sweep([get("histogram")], schemes=("native", "sgxbounds"),
+                        size="XS", threads=1)
+        table = overhead(results)
+        row = table["histogram"]
+        assert row["native"] == 1.0
+        assert row["sgxbounds"] > 1.0
+
+    def test_crashed_runs_become_none(self):
+        results = [RunResult("w", "native", "S", 1),
+                   RunResult("w", "mpx", "S", 1)]
+        results[0].cycles = 100
+        results[0].result = 5
+        results[1].crashed = "OOM"
+        table = overhead(results)
+        assert table["w"]["mpx"] is None
+
+    def test_result_mismatch_raises(self):
+        results = [RunResult("w", "native", "S", 1),
+                   RunResult("w", "asan", "S", 1)]
+        results[0].cycles = results[1].cycles = 100
+        results[0].result = 5
+        results[1].result = 6
+        with pytest.raises(AssertionError):
+            overhead(results)
+
+    def test_geomean(self):
+        assert math.isclose(geomean([1.0, 4.0]), 2.0)
+        assert math.isclose(geomean([2.0, 2.0, 2.0]), 2.0)
+        assert math.isnan(geomean([]))
+        assert math.isclose(geomean([2.0, None]), 2.0)
+
+
+class TestReport:
+    def test_overhead_table_renders(self):
+        table = {"alpha": {"native": 1.0, "sgxbounds": 1.2},
+                 "beta": {"native": 1.0, "sgxbounds": None}}
+        text = report.overhead_table("T", table, ("native", "sgxbounds"))
+        assert "alpha" in text
+        assert "crash" in text
+        assert "gmean" in text
+
+    def test_series_table_renders(self):
+        text = report.series_table("S", ["a", "b"], [[1, 2.5], ["x", None]])
+        assert "2.50" in text
+        assert "crash" in text
+
+    def test_defense_table_mentions_memory_safety(self):
+        assert "Memory safety" in report.DEFENSE_TABLE

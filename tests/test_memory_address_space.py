@@ -1,0 +1,163 @@
+"""Unit tests for the paged 32-bit address space."""
+
+import pytest
+
+from repro.errors import GuardPageFault, OutOfMemory, SegmentationFault
+from repro.memory import (
+    AddressSpace,
+    PERM_GUARD,
+    PERM_READ,
+    PERM_RW,
+    layout,
+)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestMapping:
+    def test_map_and_rw(self, space):
+        space.map(0x10000, 0x2000)
+        space.write(0x10010, b"hello")
+        assert space.read(0x10010, 5) == b"hello"
+
+    def test_unmapped_read_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.read(0x50000, 1)
+
+    def test_unmapped_write_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.write(0x50000, b"x")
+
+    def test_map_rounds_to_pages(self, space):
+        region = space.map(0x10000, 100)
+        assert region.size == layout.PAGE_SIZE
+
+    def test_unaligned_map_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map(0x10001, 0x1000)
+
+    def test_double_map_rejected(self, space):
+        space.map(0x10000, 0x1000)
+        with pytest.raises(OutOfMemory):
+            space.map(0x10000, 0x1000)
+
+    def test_unmap_releases(self, space):
+        space.map(0x10000, 0x1000)
+        space.unmap(0x10000, 0x1000)
+        with pytest.raises(SegmentationFault):
+            space.read(0x10000, 1)
+
+    def test_unmap_unmapped_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.unmap(0x10000, 0x1000)
+
+    def test_reserved_accounting(self, space):
+        space.map(0x10000, 0x3000)
+        assert space.reserved_bytes == 0x3000
+        space.unmap(0x10000, 0x3000)
+        assert space.reserved_bytes == 0
+        assert space.peak_reserved == 0x3000
+
+    def test_beyond_32bit_rejected(self, space):
+        with pytest.raises(OutOfMemory):
+            space.map(0xFFFFF000, 0x2000)
+
+
+class TestPermissions:
+    def test_readonly_write_faults(self, space):
+        space.map(0x10000, 0x1000, PERM_READ)
+        assert space.read(0x10000, 4) == b"\x00" * 4
+        with pytest.raises(SegmentationFault):
+            space.write(0x10000, b"x")
+
+    def test_guard_page_faults_both_ways(self, space):
+        space.map(0x10000, 0x1000, PERM_GUARD)
+        with pytest.raises(GuardPageFault):
+            space.read(0x10000, 1)
+        with pytest.raises(GuardPageFault):
+            space.write(0x10000, b"x")
+
+    def test_guard_counts_as_mapped(self, space):
+        space.map(0x10000, 0x1000, PERM_GUARD)
+        assert space.is_mapped(0x10000)
+        assert not space.is_accessible(0x10000)
+
+    def test_protect_changes_perms(self, space):
+        space.map(0x10000, 0x1000, PERM_RW)
+        space.protect(0x10000, 0x1000, PERM_READ)
+        with pytest.raises(SegmentationFault):
+            space.write(0x10000, b"x")
+
+
+class TestTypedAccess:
+    def test_u8_u16_u32_u64_roundtrip(self, space):
+        space.map(0x10000, 0x1000)
+        space.write_u8(0x10000, 0xAB)
+        space.write_u16(0x10010, 0xBEEF)
+        space.write_u32(0x10020, 0xDEADBEEF)
+        space.write_u64(0x10030, 0x0123456789ABCDEF)
+        assert space.read_u8(0x10000) == 0xAB
+        assert space.read_u16(0x10010) == 0xBEEF
+        assert space.read_u32(0x10020) == 0xDEADBEEF
+        assert space.read_u64(0x10030) == 0x0123456789ABCDEF
+
+    def test_f64_roundtrip(self, space):
+        space.map(0x10000, 0x1000)
+        space.write_f64(0x10008, -2.5e10)
+        assert space.read_f64(0x10008) == -2.5e10
+
+    def test_little_endian(self, space):
+        space.map(0x10000, 0x1000)
+        space.write_u32(0x10000, 0x11223344)
+        assert space.read(0x10000, 4) == b"\x44\x33\x22\x11"
+
+    def test_values_masked_to_width(self, space):
+        space.map(0x10000, 0x1000)
+        space.write_u8(0x10000, 0x1FF)
+        assert space.read_u8(0x10000) == 0xFF
+
+    def test_cross_page_access(self, space):
+        space.map(0x10000, 0x2000)
+        space.write_u64(0x10FFC, 0x1122334455667788)
+        assert space.read_u64(0x10FFC) == 0x1122334455667788
+
+    def test_cross_page_into_unmapped_faults(self, space):
+        space.map(0x10000, 0x1000)
+        with pytest.raises(SegmentationFault):
+            space.write_u64(0x10FFC, 1)
+
+    def test_cstring(self, space):
+        space.map(0x10000, 0x1000)
+        space.write(0x10000, b"hello\x00world")
+        assert space.read_cstring(0x10000) == b"hello"
+
+    def test_fill(self, space):
+        space.map(0x10000, 0x1000)
+        space.fill(0x10000, 0x5A, 64)
+        assert space.read(0x10000, 64) == b"\x5A" * 64
+
+
+class TestTracerAndCommit:
+    def test_tracer_sees_accesses(self, space):
+        events = []
+        space.map(0x10000, 0x1000)
+        space.tracer = lambda a, s, w: events.append((a, s, w))
+        space.write_u32(0x10000, 1)
+        space.read_u32(0x10000)
+        assert events == [(0x10000, 4, True), (0x10000, 4, False)]
+
+    def test_commit_limit_enforced(self):
+        space = AddressSpace(commit_limit=2 * layout.PAGE_SIZE)
+        space.map(0x10000, 0x4000)
+        space.write_u8(0x10000, 1)
+        space.write_u8(0x11000, 1)
+        with pytest.raises(OutOfMemory):
+            space.write_u8(0x12000, 1)
+
+    def test_commit_limit_counts_materialized_not_reserved(self):
+        space = AddressSpace(commit_limit=2 * layout.PAGE_SIZE)
+        space.map(0x10000, 0x100000)   # large reservation is fine
+        space.write_u8(0x10000, 1)     # only materialization counts

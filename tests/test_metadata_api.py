@@ -1,0 +1,140 @@
+"""Metadata-management API tests (paper §4.3, Table 2)."""
+
+import pytest
+
+from repro.core import DoubleFreeGuard, MetadataManager, SGXBoundsScheme
+from repro.core.metadata import OBJ_GLOBAL, OBJ_HEAP, OBJ_STACK
+from repro.errors import DoubleFree
+from repro.minic import compile_source
+from repro.vm import VM
+
+
+def run_with(manager, src, **scheme_kwargs):
+    scheme = SGXBoundsScheme(metadata=manager, **scheme_kwargs)
+    module = scheme.instrument(compile_source(src)).finalize()
+    vm = VM(scheme=scheme)
+    vm.load(module)
+    return vm.run("main"), vm, scheme
+
+
+class TestHooks:
+    def test_on_create_fires_for_heap_and_globals(self):
+        manager = MetadataManager()
+        seen = []
+        manager.on_create(lambda vm, base, size, t, tagged:
+                          seen.append((t, size)))
+        run_with(manager, """
+        int g_thing[4];
+        int main() { char *p = (char*)malloc(24); p[0] = 1; return 0; }
+        """)
+        kinds = {t for t, _ in seen}
+        assert OBJ_HEAP in kinds
+        assert OBJ_GLOBAL in kinds
+        assert (OBJ_HEAP, 24) in seen
+
+    def test_on_create_fires_for_stack_when_hooks_registered(self):
+        manager = MetadataManager()
+        seen = []
+        manager.on_create(lambda vm, base, size, t, tagged:
+                          seen.append(t))
+        run_with(manager, """
+        int main() { int buf[4]; buf[0] = 1; return buf[0]; }
+        """)
+        assert OBJ_STACK in seen
+
+    def test_on_delete_fires_on_free(self):
+        manager = MetadataManager()
+        deleted = []
+        manager.on_delete(lambda vm, tagged: deleted.append(tagged))
+        run_with(manager, """
+        int main() { free(malloc(8)); free(malloc(8)); return 0; }
+        """)
+        assert len(deleted) == 2
+
+    def test_on_access_fires_on_violation_slow_path(self):
+        manager = MetadataManager()
+        accesses = []
+        manager.on_access(lambda vm, addr, size, tagged, kind:
+                          accesses.append(kind))
+        _, _, scheme = run_with(manager, """
+        int main() {
+            char *p = (char*)malloc(8);
+            p[20] = 1;          // out of bounds -> slow path
+            return 0;
+        }
+        """, boundless=True)
+        assert accesses == ["write"]
+
+
+class TestMetadataItems:
+    def test_items_reserve_space_after_lb(self):
+        manager = MetadataManager()
+        manager.register_item("color")
+        manager.register_item("owner")
+        assert manager.extra_bytes == 8
+
+    def test_item_read_write_roundtrip(self):
+        manager = MetadataManager()
+        manager.register_item("color")
+        scheme = SGXBoundsScheme(metadata=manager)
+        vm = VM(scheme=scheme)
+        tagged = scheme.malloc(vm, 40)
+        manager.write_item(vm, tagged, "color", 0xC0FFEE)
+        assert manager.read_item(vm, tagged, "color") == 0xC0FFEE
+
+    def test_items_do_not_disturb_bounds(self):
+        manager = MetadataManager()
+        manager.register_item("x")
+        manager.register_item("y")
+        src = """
+        int main() {
+            int *a = (int*)malloc(4 * sizeof(int));
+            for (int i = 0; i < 4; i++) a[i] = i;
+            int s = 0;
+            for (int i = 0; i < 4; i++) s += a[i];
+            free(a);
+            return s;
+        }
+        """
+        value, _, _ = run_with(manager, src)
+        assert value == 6
+
+    def test_duplicate_item_rejected(self):
+        manager = MetadataManager()
+        manager.register_item("x")
+        with pytest.raises(ValueError):
+            manager.register_item("x")
+
+
+class TestDoubleFreeGuard:
+    def test_detects_double_free(self):
+        manager = MetadataManager()
+        DoubleFreeGuard(manager)
+        with pytest.raises(DoubleFree):
+            run_with(manager, """
+            int main() {
+                char *p = (char*)malloc(16);
+                free(p);                        // magic cleared here
+                char *q = (char*)malloc(64);    // different size class
+                free(p);                        // stale free: magic gone
+                return 0;
+            }
+            """)
+
+    def test_honest_programs_unaffected(self):
+        manager = MetadataManager()
+        guard = DoubleFreeGuard(manager)
+        value, _, _ = run_with(manager, """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 10; i++) {
+                int *p = (int*)malloc(32);
+                p[0] = i;
+                total += p[0];
+                free(p);
+            }
+            return total;
+        }
+        """)
+        assert value == 45
+        assert guard.detected == 0

@@ -1,0 +1,197 @@
+"""Intel MPX scheme tests: bounds checks, BD/BT mechanics, blow-ups."""
+
+import pytest
+
+from repro.errors import BoundsViolation, OutOfMemory
+from repro.mpx import MPXScheme
+from repro.sgx import EnclaveConfig
+from tests.util import run_c
+
+
+class TestDetection:
+    def test_heap_overflow_detected(self):
+        src = """
+        int main() {
+            int *a = (int*)malloc(8 * sizeof(int));
+            int i = 8;
+            a[i] = 1;
+            return 0;
+        }
+        """
+        with pytest.raises(BoundsViolation) as err:
+            run_c(src, scheme=MPXScheme())
+        assert err.value.scheme == "mpx"
+
+    def test_stack_overflow_detected(self):
+        src = """
+        int main() {
+            int buf[4];
+            int i = 5;
+            buf[i] = 1;
+            return 0;
+        }
+        """
+        with pytest.raises(BoundsViolation):
+            run_c(src, scheme=MPXScheme())
+
+    def test_global_overflow_detected(self):
+        src = """
+        int g[4];
+        int main() { int i = 9; g[i] = 1; return 0; }
+        """
+        with pytest.raises(BoundsViolation):
+            run_c(src, scheme=MPXScheme())
+
+    def test_underflow_detected(self):
+        src = """
+        int main() {
+            int *a = (int*)malloc(8 * sizeof(int));
+            int i = -1;
+            return a[i];
+        }
+        """
+        with pytest.raises(BoundsViolation):
+            run_c(src, scheme=MPXScheme())
+
+    def test_intra_object_precision(self):
+        """MPX tracks pointer bounds, not object redzones: a pointer that
+        walks from one heap object into the next is caught even if the
+        target is valid memory (unlike the ASan wild-access miss)."""
+        src = """
+        int main() {
+            char *a = (char*)malloc(16);
+            char *b = (char*)malloc(16);
+            a[31] = 1;    // lands inside b's allocation, OOB for a
+            return 0;
+        }
+        """
+        with pytest.raises(BoundsViolation):
+            run_c(src, scheme=MPXScheme())
+
+    def test_bounds_travel_through_memory(self):
+        """Fig. 4c lines 11/15: pointers stored to and loaded from memory
+        keep their bounds via bndstx/bndldx."""
+        src = """
+        int *cell[1];
+        int main() {
+            int *a = (int*)malloc(4 * sizeof(int));
+            cell[0] = a;            // bndstx
+            int *b = cell[0];       // bndldx
+            return b[6];            // OOB through the reloaded pointer
+        }
+        """
+        with pytest.raises(BoundsViolation):
+            run_c(src, scheme=MPXScheme())
+
+    def test_bounds_travel_through_calls(self):
+        src = """
+        int peek(int *p, int i) { return p[i]; }
+        int main() {
+            int *a = (int*)malloc(4 * sizeof(int));
+            return peek(a, 4);
+        }
+        """
+        with pytest.raises(BoundsViolation):
+            run_c(src, scheme=MPXScheme())
+
+    def test_in_bounds_program_correct(self):
+        src = """
+        struct Node { int v; struct Node *next; };
+        int main() {
+            struct Node *head = (struct Node*)0;
+            for (int i = 0; i < 10; i++) {
+                struct Node *n = (struct Node*)malloc(sizeof(struct Node));
+                n->v = i; n->next = head; head = n;
+            }
+            int s = 0;
+            while (head) { s += head->v; head = head->next; }
+            return s;
+        }
+        """
+        value, _ = run_c(src, scheme=MPXScheme())
+        assert value == sum(range(10))
+
+
+class TestBoundsTables:
+    def test_bt_allocated_on_pointer_store(self):
+        src = """
+        int *cell[1];
+        int main() {
+            int *a = (int*)malloc(16);
+            cell[0] = a;
+            return 0;
+        }
+        """
+        scheme = MPXScheme()
+        run_c(src, scheme=scheme)
+        assert scheme.bounds_tables >= 1
+
+    def test_no_pointer_stores_no_bt(self):
+        """Array-streaming code (histogram-like) allocates no bounds
+        tables — why Phoenix kernels are cheap under MPX (§6.2)."""
+        src = """
+        int main() {
+            int *a = (int*)malloc(64 * sizeof(int));
+            int s = 0;
+            for (int i = 0; i < 64; i++) a[i] = i;
+            for (int i = 0; i < 64; i++) s += a[i];
+            return s;
+        }
+        """
+        scheme = MPXScheme()
+        run_c(src, scheme=scheme)
+        assert scheme.bounds_tables == 0
+
+    def test_bt_memory_overhead_reported(self):
+        src = """
+        int *cells[32];
+        int main() {
+            for (int i = 0; i < 32; i++) cells[i] = (int*)malloc(16);
+            return 0;
+        }
+        """
+        scheme = MPXScheme()
+        _, vm = run_c(src, scheme=scheme)
+        report = scheme.memory_overhead_report(vm)
+        assert report["bounds_tables"] >= 1
+        assert report["bt_reserved_bytes"] == \
+            report["bounds_tables"] * scheme.bt_size
+
+    def test_pointer_spread_allocates_many_bts(self):
+        """Pointers scattered across address regions need one BT each —
+        the SQLite blow-up mechanism."""
+        src = """
+        int main() {
+            // Pointer stores into far-apart mmap'd slabs.
+            for (int i = 0; i < 6; i++) {
+                char **slab = (char**)malloc(300000);
+                slab[0] = (char*)slab;
+            }
+            return 0;
+        }
+        """
+        scheme = MPXScheme()
+        run_c(src, scheme=scheme)
+        assert scheme.bounds_tables >= 4
+
+    def test_bt_blowup_crashes_small_enclave(self):
+        """With a commit limit (enclave memory), BT metadata exhausts
+        memory — the paper's MPX crash mode (Fig. 1, dedup in Fig. 7)."""
+        src = """
+        int main() {
+            // Dense pointer arrays: every 8-byte slot stores a pointer, so
+            // MPX needs a 32-byte BT entry per slot (4x the app data).
+            for (int i = 0; i < 12; i++) {
+                char **slab = (char**)malloc(65536);
+                for (int j = 0; j < 8192; j++)
+                    slab[j] = (char*)slab;
+            }
+            return 0;
+        }
+        """
+        config = EnclaveConfig(commit_limit_bytes=3 * 1024 * 1024)
+        with pytest.raises(OutOfMemory):
+            run_c(src, scheme=MPXScheme(), config=config)
+        # The same program fits comfortably natively.
+        value, _ = run_c(src, scheme=None, config=config)
+        assert value == 0

@@ -1,0 +1,72 @@
+"""RIPE benchmark tests (paper §6.6, Table 4)."""
+
+import pytest
+
+from repro.asan import ASanScheme
+from repro.core import SGXBoundsScheme
+from repro.mpx import MPXScheme
+from repro.workloads import ripe
+
+
+class TestAttacksWork:
+    """Every attack must actually succeed when unprotected — otherwise the
+    prevention numbers are meaningless (the paper only counts working
+    attacks)."""
+
+    @pytest.mark.parametrize("name", list(ripe.ATTACKS))
+    def test_native_succeeds(self, name):
+        assert ripe.run_attack(name, None) == ripe.SUCCEEDED
+
+
+class TestSchemeOutcomes:
+    @pytest.mark.parametrize("name", [
+        n for n, (family, _) in ripe.ATTACKS.items() if family == "in-struct"])
+    def test_in_struct_evades_everyone(self, name):
+        """Object-granularity protection cannot see intra-object overflows."""
+        for factory in (SGXBoundsScheme, ASanScheme, MPXScheme):
+            assert ripe.run_attack(name, factory()) == ripe.SUCCEEDED
+
+    @pytest.mark.parametrize("name", [
+        n for n, (family, _) in ripe.ATTACKS.items()
+        if family == "adjacent-direct"])
+    def test_direct_adjacent_caught_by_all(self, name):
+        for factory in (SGXBoundsScheme, ASanScheme, MPXScheme):
+            assert ripe.run_attack(name, factory()) == ripe.PREVENTED
+
+    @pytest.mark.parametrize("name", [
+        n for n, (family, _) in ripe.ATTACKS.items()
+        if family == "adjacent-laundered"])
+    def test_laundered_pointers_blind_mpx_only(self, name):
+        """Integer-laundered pointers strip MPX's bounds; SGXBounds' tag
+        survives the cast (§3.2) and ASan's shadow doesn't care."""
+        assert ripe.run_attack(name, MPXScheme()) == ripe.SUCCEEDED
+        assert ripe.run_attack(name, SGXBoundsScheme()) == ripe.PREVENTED
+        assert ripe.run_attack(name, ASanScheme()) == ripe.PREVENTED
+
+    def test_boundless_mode_also_stops_hijacks(self):
+        """Boundless memory redirects the overflow, so the function
+        pointer is never corrupted: attack neither crashes nor succeeds."""
+        outcome = ripe.run_attack("laundered_heap_funcptr",
+                                  SGXBoundsScheme(boundless=True))
+        assert outcome == ripe.FAILED
+
+
+class TestTableTotals:
+    def test_table4(self):
+        table = ripe.ripe_table({
+            "native": lambda: None,
+            "sgxbounds": SGXBoundsScheme,
+            "asan": ASanScheme,
+            "mpx": MPXScheme,
+        })
+        assert ripe.prevented_count(table["native"]) == 0
+        assert ripe.prevented_count(table["sgxbounds"]) == 8
+        assert ripe.prevented_count(table["asan"]) == 8
+        assert ripe.prevented_count(table["mpx"]) == 2
+
+    def test_sixteen_attacks(self):
+        assert len(ripe.ATTACKS) == 16
+        families = [family for family, _ in ripe.ATTACKS.values()]
+        assert families.count("in-struct") == 8
+        assert families.count("adjacent-direct") == 2
+        assert families.count("adjacent-laundered") == 6

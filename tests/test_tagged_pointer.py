@@ -1,0 +1,108 @@
+"""Unit + property tests for the tagged-pointer codec (paper §3.1-3.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    bounds_violated,
+    extract_p,
+    extract_ub,
+    is_tagged,
+    pointer_arith,
+    specify_bounds,
+    unpack,
+)
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+deltas = st.integers(min_value=-(1 << 40), max_value=1 << 40)
+
+
+class TestCodec:
+    def test_pack_unpack(self):
+        tagged = specify_bounds(0x1000, 0x1040)
+        assert extract_p(tagged) == 0x1000
+        assert extract_ub(tagged) == 0x1040
+        assert unpack(tagged) == (0x1000, 0x1040)
+
+    def test_untagged_detection(self):
+        assert not is_tagged(0x1234)
+        assert is_tagged(specify_bounds(0x1234, 0x1300))
+
+    def test_in_bounds_ok(self):
+        tagged = specify_bounds(0x1000, 0x1040)
+        assert not bounds_violated(tagged, lower=0x1000, size=8)
+
+    def test_upper_violation(self):
+        tagged = specify_bounds(0x103C, 0x1040)
+        assert bounds_violated(tagged, lower=0x1000, size=8)
+
+    def test_exactly_at_upper_is_violation(self):
+        tagged = specify_bounds(0x1040, 0x1040)
+        assert bounds_violated(tagged, lower=0x1000, size=1)
+
+    def test_lower_violation(self):
+        tagged = specify_bounds(0x0FF8, 0x1040)
+        assert bounds_violated(tagged, lower=0x1000, size=8)
+
+    def test_last_valid_byte(self):
+        tagged = specify_bounds(0x103F, 0x1040)
+        assert not bounds_violated(tagged, lower=0x1000, size=1)
+
+
+class TestPointerArith:
+    def test_simple_increment(self):
+        tagged = specify_bounds(0x1000, 0x1040)
+        moved = pointer_arith(tagged, 8)
+        assert extract_p(moved) == 0x1008
+        assert extract_ub(moved) == 0x1040
+
+    def test_negative_delta_keeps_tag(self):
+        """A 64-bit subtraction would borrow into the tag; clamped
+        arithmetic must not (paper §3.2)."""
+        tagged = specify_bounds(0x1000, 0x1040)
+        moved = pointer_arith(tagged, -8)
+        assert extract_ub(moved) == 0x1040
+        assert extract_p(moved) == 0x0FF8
+
+    def test_overflow_delta_cannot_corrupt_tag(self):
+        """Attacker-sized deltas wrap in the low 32 bits only."""
+        tagged = specify_bounds(0x1000, 0x1040)
+        moved = pointer_arith(tagged, 1 << 33)
+        assert extract_ub(moved) == 0x1040
+
+    @given(p=addresses, size=st.integers(min_value=1, max_value=1 << 20),
+           delta=deltas)
+    def test_property_tag_preserved(self, p, size, delta):
+        upper = (p + size) & 0xFFFFFFFF
+        tagged = specify_bounds(p, upper)
+        moved = pointer_arith(tagged, delta)
+        assert extract_ub(moved) == upper
+        assert extract_p(moved) == (p + delta) & 0xFFFFFFFF
+
+    @given(p=addresses, size=st.integers(min_value=1, max_value=1 << 20))
+    def test_property_pack_roundtrip(self, p, size):
+        upper = (p + size) & 0xFFFFFFFF
+        tagged = specify_bounds(p, upper)
+        assert unpack(tagged) == (p, upper)
+
+    @given(p=addresses)
+    def test_property_int_cast_is_identity(self, p):
+        """Casting tagged pointer -> int -> pointer preserves bounds — the
+        §3.2 'immune to arbitrary type casts' property: the cast *is* the
+        identity on the 64-bit value."""
+        tagged = specify_bounds(p, (p + 64) & 0xFFFFFFFF)
+        as_int = tagged & ((1 << 64) - 1)
+        assert extract_ub(as_int) == extract_ub(tagged)
+
+    @given(p=st.integers(min_value=0, max_value=0xFFFF_FF00),
+           lower_pad=st.integers(min_value=0, max_value=64),
+           size=st.integers(min_value=1, max_value=255),
+           offset=st.integers(min_value=-512, max_value=512),
+           access=st.sampled_from([1, 2, 4, 8]))
+    def test_property_violation_iff_outside(self, p, lower_pad, size, offset,
+                                            access):
+        lower = max(0, p - lower_pad)
+        upper = p + size
+        tagged = specify_bounds((p + offset) & 0xFFFFFFFF, upper)
+        pointer = (p + offset) & 0xFFFFFFFF
+        expected = pointer < lower or pointer + access > upper
+        assert bounds_violated(tagged, lower, access) == expected

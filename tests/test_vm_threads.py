@@ -1,0 +1,191 @@
+"""Multithreading tests: spawn/join, locks, determinism, MPX races (§4.1)."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.mpx import MPXScheme
+from tests.util import run_c
+
+
+class TestSpawnJoin:
+    def test_parallel_sum(self):
+        src = """
+        int results[4];
+        int partial[1];
+        int worker(int idx) {
+            int s = 0;
+            for (int i = idx * 100; i < (idx + 1) * 100; i++) s += i;
+            results[idx] = s;
+            return 0;
+        }
+        int main() {
+            int tids[4];
+            for (int t = 0; t < 4; t++) tids[t] = spawn(worker, t);
+            for (int t = 0; t < 4; t++) join(tids[t]);
+            int total = 0;
+            for (int t = 0; t < 4; t++) total += results[t];
+            return total;
+        }
+        """
+        value, _ = run_c(src)
+        assert value == sum(range(400))
+
+    def test_join_returns_thread_result(self):
+        src = """
+        int worker(int x) { return x * x; }
+        int main() { int t = spawn(worker, 9); return join(t); }
+        """
+        value, _ = run_c(src)
+        assert value == 81
+
+    def test_threads_interleave(self):
+        """With a small quantum both threads make progress concurrently."""
+        src = """
+        int log[64];
+        int pos;
+        int worker(int tag) {
+            for (int i = 0; i < 8; i++) { log[pos] = tag; pos = pos + 1; }
+            return 0;
+        }
+        int main() {
+            int t = spawn(worker, 2);
+            for (int i = 0; i < 8; i++) { log[pos] = 1; pos = pos + 1; }
+            join(t);
+            // count switches between tags
+            int switches = 0;
+            for (int i = 1; i < pos; i++)
+                if (log[i] != log[i-1]) switches++;
+            return switches;
+        }
+        """
+        value, _ = run_c(src, quantum=10)
+        assert value >= 1
+
+    def test_deterministic_schedule(self):
+        src = """
+        int counter;
+        int worker(int n) {
+            for (int i = 0; i < n; i++) counter = counter + 1;
+            return counter;
+        }
+        int main() {
+            int a = spawn(worker, 50);
+            int b = spawn(worker, 50);
+            return join(a) * 1000 + join(b);
+        }
+        """
+        first, _ = run_c(src, quantum=7)
+        second, _ = run_c(src, quantum=7)
+        assert first == second    # same quantum -> same interleaving
+
+
+class TestLocks:
+    def test_mutex_protects_counter(self):
+        src = """
+        int lock[1];
+        int counter;
+        int worker(int n) {
+            for (int i = 0; i < n; i++) {
+                mutex_lock(lock);
+                counter = counter + 1;
+                mutex_unlock(lock);
+            }
+            return 0;
+        }
+        int main() {
+            int a = spawn(worker, 30);
+            int b = spawn(worker, 30);
+            join(a); join(b);
+            return counter;
+        }
+        """
+        value, _ = run_c(src, quantum=3)
+        assert value == 60
+
+    def test_deadlock_detected(self):
+        src = """
+        int lock[1];
+        int main() {
+            mutex_lock(lock);
+            mutex_lock(lock);   // self-deadlock
+            return 0;
+        }
+        """
+        with pytest.raises(VMError, match="deadlock"):
+            run_c(src)
+
+    def test_atomic_builtin_semantics(self):
+        """Unlocked increments under coarse quanta lose updates; the test
+        documents that data races are actually expressible."""
+        src = """
+        int counter;
+        int worker(int n) {
+            for (int i = 0; i < n; i++) counter = counter + 1;
+            return 0;
+        }
+        int main() {
+            int a = spawn(worker, 40);
+            int b = spawn(worker, 40);
+            join(a); join(b);
+            return counter;
+        }
+        """
+        value, _ = run_c(src, quantum=1)
+        assert value <= 80    # may lose updates — that's the point
+
+
+class TestMPXMultithreadHazard:
+    """Paper §4.1: MPX's pointer/bounds updates are not atomic; a thread
+    switch between the pointer store and its bndstx publishes stale bounds
+    (false positives/negatives).  SGXBounds is immune: pointer and bound
+    share one 64-bit word."""
+
+    RACY = """
+    int small[2];
+    int big[64];
+    int *shared;
+    int flip(int rounds) {
+        for (int i = 0; i < rounds; i++) {
+            shared = small;
+            shared = big;
+        }
+        return 0;
+    }
+    int reader(int rounds) {
+        int sink = 0;
+        for (int i = 0; i < rounds; i++) {
+            int *p = shared;
+            sink += p[1];     // always within both objects
+        }
+        return sink;
+    }
+    int main() {
+        shared = big;
+        int w = spawn(flip, 60);
+        int r = spawn(reader, 60);
+        join(w); join(r);
+        return 0;
+    }
+    """
+
+    def test_mpx_race_can_misfire(self):
+        """Under some interleaving the reader sees pointer/bounds skew.
+        We assert the run either completes or raises an MPX violation —
+        and that across a quantum sweep at least one misfire occurs."""
+        from repro.errors import BoundsViolation
+        misfired = 0
+        for quantum in (1, 2, 3, 5, 7):
+            scheme = MPXScheme()
+            try:
+                run_c(self.RACY, scheme=scheme, quantum=quantum)
+            except BoundsViolation as err:
+                assert err.scheme == "mpx"
+                misfired += 1
+        assert misfired >= 1, "expected at least one MPX race false positive"
+
+    def test_sgxbounds_immune_to_the_same_race(self):
+        from repro.core import SGXBoundsScheme
+        for quantum in (1, 2, 3, 5, 7):
+            value, _ = run_c(self.RACY, scheme=SGXBoundsScheme(),
+                             quantum=quantum)
+            assert value == 0

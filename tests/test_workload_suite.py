@@ -1,0 +1,82 @@
+"""Suite-level workload tests: completeness + cross-scheme agreement."""
+
+import pytest
+
+from repro.core import SGXBoundsScheme
+from repro.harness.runner import run_workload
+from repro.workloads import all_workloads, by_suite, get
+
+PHOENIX = [w.name for w in by_suite("phoenix")]
+PARSEC = [w.name for w in by_suite("parsec")]
+SPEC = [w.name for w in by_suite("spec")]
+
+
+class TestSuiteCompleteness:
+    """The paper evaluates 7 Phoenix, 9 PARSEC and 13 SPEC programs."""
+
+    def test_phoenix_has_7(self):
+        assert len(PHOENIX) == 7
+
+    def test_parsec_has_9(self):
+        assert len(PARSEC) == 9
+
+    def test_spec_has_13(self):
+        assert len(SPEC) == 13
+
+    def test_all_have_five_sizes(self):
+        for workload in all_workloads():
+            assert set(workload.sizes) == {"XS", "S", "M", "L", "XL"}
+            sizes = [workload.sizes[s] for s in ("XS", "S", "M", "L", "XL")]
+            assert sizes == sorted(sizes), workload.name
+
+
+@pytest.mark.parametrize("name", PHOENIX + PARSEC + SPEC)
+class TestEveryWorkload:
+    def test_native_and_sgxbounds_agree(self, name):
+        workload = get(name)
+        native = run_workload(workload, "native", size="XS", threads=1)
+        assert native.ok, native.crashed
+        protected = run_workload(workload, "sgxbounds", size="XS", threads=1)
+        assert protected.ok, protected.crashed
+        assert protected.result == native.result
+        # Instrumentation is never free, but must stay sane.
+        assert 1.0 <= protected.cycles / native.cycles < 10.0
+
+
+class TestThreadScaling:
+    @pytest.mark.parametrize("name", ["histogram", "linear_regression"])
+    def test_thread_count_does_not_change_answers(self, name):
+        workload = get(name)
+        single = run_workload(workload, "native", size="XS", threads=1)
+        multi = run_workload(workload, "native", size="XS", threads=4)
+        assert single.result == multi.result
+
+    def test_oracles_hold_for_all_sizes(self):
+        for name in ("histogram", "linear_regression"):
+            workload = get(name)
+            for size in ("XS", "S"):
+                r = run_workload(workload, "native", size=size, threads=2)
+                assert r.result == workload.expected(*workload.args_for(size, 2))
+
+
+class TestPointerIntensityMetadata:
+    def test_pointer_heavy_kernels_pay_more_under_mpx(self):
+        """The MPX cost asymmetry the paper leans on: pointer-heavy
+        kernels (pca) pay far more than streaming kernels (histogram,
+        §6.2: 'pointer-less programs perform significantly better')."""
+        def mpx_overhead(name):
+            native = run_workload(get(name), "native", size="XS", threads=1)
+            mpx = run_workload(get(name), "mpx", size="XS", threads=1)
+            return mpx.cycles / native.cycles, mpx
+
+        heavy_ratio, heavy = mpx_overhead("pca")
+        light_ratio, _ = mpx_overhead("blackscholes")
+        assert heavy_ratio > light_ratio
+        assert heavy.scheme_report["bounds_tables"] >= 1
+
+    def test_sgxbounds_memory_is_flat_everywhere(self):
+        for name in ("pca", "word_count", "dedup"):
+            workload = get(name)
+            native = run_workload(workload, "native", size="XS", threads=1)
+            sgxb = run_workload(workload, "sgxbounds", size="XS", threads=1)
+            assert sgxb.peak_reserved <= native.peak_reserved * 1.25, name

@@ -1,0 +1,46 @@
+"""Chaos availability: fault rates x violation policies on the servers.
+
+Not a paper figure — this extends Fig. 13's server case studies with the
+robustness question the paper raises but never quantifies: *how much
+service survives an attack under each violation response?*  Expected
+shape: with no faults every policy serves everything; at a non-zero fault
+rate fail-stop (``abort``) loses most of the run at the first poisoned
+request, while ``drop-request`` and ``boundless`` keep availability high,
+paying a bounded per-request recovery cost.
+"""
+
+from repro.harness.chaos import chaos_availability
+
+FAULT_RATE = 0.2
+
+
+def test_chaos_availability(benchmark, save_result, bench_size):
+    data, text = benchmark.pedantic(
+        chaos_availability,
+        kwargs=dict(fault_rates=(0.0, FAULT_RATE), size=bench_size),
+        rounds=1, iterations=1)
+    save_result("chaos_availability", text)
+
+    for app in ("memcached", "nginx"):
+        per = data[app]
+        scheme = "sgxbounds"
+        # Clean traffic: everything is served under every policy.
+        for policy in ("abort", "drop-request", "boundless"):
+            assert per[(scheme, policy, 0.0)]["availability"] == 1.0, \
+                f"{app}/{policy}: lost requests with no faults injected"
+        # Faulted traffic: graceful degradation beats fail-stop.
+        abort = per[(scheme, "abort", FAULT_RATE)]
+        drop = per[(scheme, "drop-request", FAULT_RATE)]
+        boundless = per[(scheme, "boundless", FAULT_RATE)]
+        assert drop["availability"] > abort["availability"], \
+            f"{app}: drop-request did not beat abort"
+        assert boundless["availability"] > abort["availability"], \
+            f"{app}: boundless did not beat abort"
+        # The fail-stop run really did die, and the tolerant ones did not.
+        assert abort["status"] != "ok"
+        assert drop["status"] == "ok"
+        assert boundless["status"] == "ok"
+        # Recovery is visible and bounded: requests were dropped, the rest
+        # was served.
+        assert drop["dropped"] > 0
+        assert drop["availability"] >= 0.5

@@ -27,7 +27,17 @@ EXPERIMENTS = {
     "fig11": lambda args: exp.fig11_spec_sgx(size=args.size),
     "fig12": lambda args: exp.fig12_spec_native(size=args.size),
     "fig13": lambda args: exp.fig13_case_studies(),
+    "chaos": lambda args: _chaos(args),
 }
+
+
+def _chaos(args):
+    from repro.harness.chaos import chaos_availability
+    policies = ([args.policy] if args.policy
+                else ["abort", "drop-request", "boundless"])
+    return chaos_availability(policies=policies,
+                              fault_rates=(0.0, args.fault_rate),
+                              size=args.size, seed=args.seed)
 
 
 def main(argv=None) -> int:
@@ -39,6 +49,14 @@ def main(argv=None) -> int:
                         help="experiment ids (see 'list'), or 'all'")
     parser.add_argument("--size", default="XS",
                         help="workload size for sweeps (XS/S/M/L/XL)")
+    parser.add_argument("--policy", default=None,
+                        help="violation policy for the chaos experiment "
+                             "(abort/boundless/log-and-continue/"
+                             "drop-request; default: compare all)")
+    parser.add_argument("--fault-rate", type=float, default=0.2,
+                        help="request corruption probability for chaos")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="chaos run seed (fuzzer/scheduler/clients)")
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:

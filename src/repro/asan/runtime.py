@@ -30,6 +30,7 @@ from repro.asan.shadow import (
     shadow_address,
 )
 from repro.errors import BoundsViolation, DoubleFree
+from repro.vm import policy as violation_policy
 from repro.memory.address_space import PERM_RW
 from repro.memory.layout import (
     ADDRESS_MASK,
@@ -57,8 +58,9 @@ class ASanScheme(SchemeRuntime):
 
     def __init__(self, optimize_safe: bool = True,
                  quarantine_bytes: int = QUARANTINE_CAP,
-                 redzone: int = REDZONE):
-        super().__init__()
+                 redzone: int = REDZONE,
+                 policy: str = violation_policy.ABORT):
+        super().__init__(policy=policy)
         self.optimize_safe = optimize_safe
         self.quarantine_cap = quarantine_bytes
         self.redzone = redzone
@@ -176,10 +178,13 @@ class ASanScheme(SchemeRuntime):
             granule_end = (cursor | (GRANULE - 1)) + 1
             chunk = min(end, granule_end) - cursor
             if shadow_value != 0 and not granule_ok(shadow_value, cursor, chunk):
-                self.violations += 1
-                raise BoundsViolation(
+                self.handle_violation(vm, BoundsViolation(
                     self.name, address, 0, 0, size,
-                    what=f"shadow byte 0x{shadow_value:02x} at 0x{cursor:08x}")
+                    access="write" if is_write else "read",
+                    what=f"shadow byte 0x{shadow_value:02x} at 0x{cursor:08x}"))
+                # Tolerated (no overlay to redirect into): the access
+                # proceeds unprotected, like the uninstrumented program.
+                return
             cursor = granule_end
 
     def libc_range(self, vm: "VM", ptr: int, size: int, is_write: bool,

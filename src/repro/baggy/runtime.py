@@ -23,6 +23,7 @@ from repro.errors import BoundsViolation
 from repro.memory.address_space import PERM_RW
 from repro.memory.allocator import BuddyAllocator
 from repro.memory.layout import ADDRESS_MASK
+from repro.vm import policy as violation_policy
 from repro.vm.scheme import SchemeRuntime
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
@@ -48,8 +49,9 @@ class BaggyScheme(SchemeRuntime):
     name = "baggy"
 
     def __init__(self, arena_bytes: int = 8 * 1024 * 1024,
-                 optimize_safe: bool = True):
-        super().__init__()
+                 optimize_safe: bool = True,
+                 policy: str = violation_policy.ABORT):
+        super().__init__(policy=policy)
         self.arena_bytes = arena_bytes
         self.optimize_safe = optimize_safe
         self.buddy: Optional[BuddyAllocator] = None
@@ -137,9 +139,12 @@ class BaggyScheme(SchemeRuntime):
             block = 1 << order
             base = address & ~(block - 1)
             if address + size > base + block:
-                self.violations += 1
-                raise BoundsViolation(self.name, address, base, base + block,
-                                      size, what="libc wrapper")
+                self.handle_violation(vm, BoundsViolation(
+                    self.name, address, base, base + block, size,
+                    access="write" if is_write else "read",
+                    what="libc wrapper"))
+                if self.policy != violation_policy.LOG_AND_CONTINUE:
+                    return (address, max(0, base + block - address))
         return (address, size)
 
     # -- pass-inserted slow path ----------------------------------------------------------
@@ -164,9 +169,10 @@ class BaggyScheme(SchemeRuntime):
         if limit <= dest <= limit + SLOT_SIZE // 2 \
                 or base - SLOT_SIZE // 2 <= dest < base:
             return dest | self.OOB_MARK     # legal one-past-end-ish pointer
-        self.violations += 1
-        raise BoundsViolation(self.name, dest, base, limit,
-                              what="allocation bounds (pointer arithmetic)")
+        self.handle_violation(vm, BoundsViolation(
+            self.name, dest, base, limit,
+            what="allocation bounds (pointer arithmetic)"))
+        return dest          # tolerated: raw out-of-block pointer
 
     def natives(self) -> Dict[str, object]:
         return {"__baggy_arith": self._arith}

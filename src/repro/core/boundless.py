@@ -41,6 +41,11 @@ class BoundlessCache:
         self.capacity_chunks = max(1, capacity_bytes // chunk_size)
         self._chunks: Dict[int, int] = {}     # key -> overlay address (LRU order)
         self._free: List[int] = []
+        #: key each simulated thread was most recently handed a chunk for.
+        #: Eviction must skip these: the thread performs its redirected
+        #: access *after* translate() returns, and recycling the chunk
+        #: under it would corrupt an unrelated overlay key's data.
+        self._pinned: Dict[int, int] = {}     # tid -> chunk key
         self._zero_page: Optional[int] = None
         self.hits = 0
         self.misses = 0
@@ -71,6 +76,8 @@ class BoundlessCache:
         """Overlay address for an out-of-bounds access at ``address``."""
         key = address // self.chunk_size
         offset = address % self.chunk_size
+        current = getattr(vm, "current", None)
+        tid = current.tid if current is not None else -1
         chunk = self._chunks.get(key)
         if chunk is not None:
             # Refresh LRU position.
@@ -78,16 +85,16 @@ class BoundlessCache:
             self._chunks[key] = chunk
             self.hits += 1
             vm.counters.boundless_hits += 1
+            self._pinned[tid] = key
             return chunk + offset
         self.misses += 1
         if not is_write:
-            # Failure-oblivious read: manufactured zeros.
+            # Failure-oblivious read: manufactured zeros.  (Evicted chunks
+            # land here too — boundless data is best-effort, §4.2.)
+            self._pinned.pop(tid, None)
             return self.zero_page(vm) + (offset % (PAGE_SIZE - 8))
         if len(self._chunks) >= self.capacity_chunks:
-            evicted_key = next(iter(self._chunks))
-            evicted = self._chunks.pop(evicted_key)
-            self._free.append(evicted)
-            self.evictions += 1
+            self._evict_one()
         chunk = self._alloc_chunk(vm)
         vm.counters.boundless_allocs += 1
         # Fresh chunks must read as zeros even after reuse.
@@ -97,7 +104,23 @@ class BoundlessCache:
         finally:
             vm.space.tracer = tracer
         self._chunks[key] = chunk
+        self._pinned[tid] = key
         return chunk + offset
+
+    def _evict_one(self) -> None:
+        """Drop the least-recently-used chunk no thread is mid-access on.
+        Falls back to plain LRU if every chunk is pinned (more threads
+        than chunks — the access that loses its chunk reads zeros)."""
+        pinned = set(self._pinned.values())
+        victim = None
+        for key in self._chunks:
+            if key not in pinned:
+                victim = key
+                break
+        if victim is None:
+            victim = next(iter(self._chunks))
+        self._free.append(self._chunks.pop(victim))
+        self.evictions += 1
 
     def stats(self) -> Dict[str, int]:
         return {

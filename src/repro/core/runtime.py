@@ -27,6 +27,7 @@ from repro.core.tagged_pointer import (
     specify_bounds,
 )
 from repro.errors import BoundsViolation
+from repro.vm import policy as violation_policy
 from repro.vm.scheme import SchemeRuntime
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
@@ -50,11 +51,19 @@ class SGXBoundsScheme(SchemeRuntime):
 
     def __init__(self, boundless: bool = False, optimize_safe: bool = True,
                  optimize_hoist: bool = True, stack_hooks: bool = False,
-                 metadata: Optional[MetadataManager] = None):
-        super().__init__()
-        self.boundless = boundless
+                 metadata: Optional[MetadataManager] = None,
+                 policy: Optional[str] = None):
+        if policy is None:
+            policy = (violation_policy.BOUNDLESS if boundless
+                      else violation_policy.ABORT)
+        super().__init__(policy=policy)
+        self.boundless = (self.policy == violation_policy.BOUNDLESS)
         self.optimize_safe = optimize_safe
-        self.optimize_hoist = optimize_hoist and not boundless
+        # Hoisted checks fire before the access they guard, which breaks
+        # in-place continuation (boundless/audit); drop-request unwinds the
+        # whole request anyway, so hoisting stays sound there.
+        self.optimize_hoist = (optimize_hoist and
+                               self.policy not in violation_policy.CONTINUING)
         self.stack_hooks = stack_hooks
         self.metadata = metadata or MetadataManager()
         self.overlay = BoundlessCache()
@@ -154,18 +163,21 @@ class SGXBoundsScheme(SchemeRuntime):
             return (address, size)
         lower = vm.space.read_u32(upper)     # traced LB load, as a wrapper would
         vm.charge(4)
+        access = "write" if is_write else "read"
         if address < lower:
-            self.violations += 1
-            if self.boundless:
-                return (address, 0)
-            raise BoundsViolation(self.name, address, lower, upper, size,
-                                  what="libc wrapper: below lower bound")
+            self.handle_violation(vm, BoundsViolation(
+                self.name, address, lower, upper, size, access=access,
+                what="libc wrapper: below lower bound"))
+            if self.policy == violation_policy.LOG_AND_CONTINUE:
+                return (address, size)   # audit only: raw access proceeds
+            return (address, 0)
         if address + size > upper:
-            self.violations += 1
-            if self.boundless:
-                return (address, max(0, upper - address))
-            raise BoundsViolation(self.name, address, lower, upper, size,
-                                  what="libc wrapper: beyond upper bound")
+            self.handle_violation(vm, BoundsViolation(
+                self.name, address, lower, upper, size, access=access,
+                what="libc wrapper: beyond upper bound"))
+            if self.policy == violation_policy.LOG_AND_CONTINUE:
+                return (address, size)   # audit only: raw overflow proceeds
+            return (address, max(0, upper - address))
         return (address, size)
 
     # -- slow path ----------------------------------------------------------------------
@@ -180,13 +192,15 @@ class SGXBoundsScheme(SchemeRuntime):
         lower = vm.space.read_u32(upper)
         if lower <= address and address + size <= upper:
             return address   # spurious slow-path entry; access is fine
-        self.violations += 1
         self.metadata.fire_access(vm, address, size, tagged,
                                   ACCESS_WRITE if is_write else ACCESS_READ)
+        self.handle_violation(vm, BoundsViolation(
+            self.name, address, lower, upper, size,
+            access="write" if is_write else "read"))
         if self.boundless:
             vm.charge(60)    # LRU lookup under the global lock (§5.1)
             return self.overlay.translate(vm, address, size, is_write)
-        raise BoundsViolation(self.name, address, lower, upper, size)
+        return address       # log-and-continue: the raw access proceeds
 
     def _stack_create(self, vm: "VM", thread, args) -> int:
         tagged, size = args[0], args[1]

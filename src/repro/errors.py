@@ -34,21 +34,64 @@ class GuardPageFault(SegmentationFault):
 
 
 class BoundsViolation(ReproError):
-    """An instrumented bounds check failed (spatial memory-safety violation)."""
+    """An instrumented bounds check failed (spatial memory-safety violation).
+
+    Carries structured context so the harness can report *what* faulted —
+    the address and object bounds, the access direction and size, the
+    MiniC function that executed the access, and (once a
+    :class:`~repro.vm.scheme.SchemeRuntime` has applied its violation
+    policy) the policy and its outcome.  ``context()`` returns everything
+    as a plain dict for reports and logs.
+    """
 
     def __init__(self, scheme: str, address: int, lower: int, upper: int,
-                 size: int = 1, what: str = ""):
+                 size: int = 1, what: str = "", access: str = "",
+                 function: str = ""):
         self.scheme = scheme
         self.address = address
         self.lower = lower
         self.upper = upper
         self.size = size
         self.what = what
+        self.access = access          # "read" / "write" when known
+        self.function = function      # MiniC function containing the access
+        self.policy: str = ""         # violation policy in force, once applied
+        self.outcome: str = ""        # what the policy did about it
         detail = f" ({what})" if what else ""
         super().__init__(
             f"[{scheme}] out-of-bounds {size}-byte access at 0x{address:08x}, "
             f"object bounds [0x{lower:08x}, 0x{upper:08x}){detail}"
         )
+
+    def context(self) -> dict:
+        """Structured rendering of the violation for reports."""
+        return {
+            "scheme": self.scheme,
+            "address": self.address,
+            "lower": self.lower,
+            "upper": self.upper,
+            "size": self.size,
+            "access": self.access,
+            "function": self.function,
+            "what": self.what,
+            "policy": self.policy,
+            "outcome": self.outcome,
+        }
+
+
+class RequestAborted(ReproError):
+    """A violation under the ``drop-request`` policy.
+
+    Raised by :meth:`repro.vm.scheme.SchemeRuntime.handle_violation` in
+    place of the violation itself; the VM catches it, rolls the faulting
+    thread back to its last request checkpoint, and keeps the server
+    alive.  If no checkpoint exists (the violation happened outside
+    request handling) the underlying violation is re-raised fail-stop.
+    """
+
+    def __init__(self, violation: Exception):
+        self.violation = violation
+        super().__init__(f"request aborted: {violation}")
 
 
 class DoubleFree(ReproError):

@@ -1,0 +1,199 @@
+"""Deterministic fault injection for the server case studies.
+
+Two layers, both driven by seeded RNGs so every chaos run replays
+byte-for-byte:
+
+* :class:`RequestFuzzer` corrupts the *workload* before it reaches the
+  network — scripted out-of-bounds probes (the CVE attack payloads),
+  inflated or negative length fields, truncated messages, and bit-flips
+  in request bodies.  This is what an adversarial or buggy client does.
+* :class:`FaultInjector` corrupts the *runtime* — bit-flips in the tag
+  half of freshly allocated pointers (modelling the memory-corruption
+  precursors SGXBounds must survive) and forced EPC pressure spikes
+  (another enclave grabbing the page cache), fired at the ``net_recv``
+  boundary.
+
+Neither layer is active unless explicitly constructed and attached, so
+the default pipeline is bit-identical to the unfaulted simulator.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class LengthField:
+    """Where a protocol's length field lives inside a request."""
+
+    __slots__ = ("offset", "width", "signed")
+
+    def __init__(self, offset: int, width: int, signed: bool = False):
+        self.offset = offset
+        self.width = width
+        self.signed = signed
+
+    def _fmt(self) -> str:
+        base = {1: "b", 2: "h", 4: "i"}[self.width]
+        return "<" + (base if self.signed else base.upper())
+
+    def patch(self, request: bytes, value: int) -> bytes:
+        """Overwrite the length field with ``value`` (clamped to range)."""
+        if len(request) < self.offset + self.width:
+            return request
+        bits = self.width * 8
+        if self.signed:
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        else:
+            lo, hi = 0, (1 << bits) - 1
+        packed = struct.pack(self._fmt(), max(lo, min(hi, value)))
+        return (request[:self.offset] + packed
+                + request[self.offset + self.width:])
+
+
+class RequestFuzzer:
+    """Seeded corruption of a request list.
+
+    ``rate`` is the probability each request is corrupted; ``weights``
+    maps strategy name to relative weight.  Strategies that need a length
+    field or attack factory silently fall back to ``bit-flip`` when the
+    profile lacks them, so every profile supports every weight table.
+    """
+
+    STRATEGIES = ("oob-probe", "inflate-length", "negative-length",
+                  "truncate", "bit-flip")
+
+    def __init__(self, seed: int, rate: float,
+                 length_field: Optional[LengthField] = None,
+                 attacks: Sequence[Callable[[], bytes]] = (),
+                 weights: Optional[Dict[str, float]] = None):
+        self.seed = seed
+        self.rate = rate
+        self.length_field = length_field
+        self.attacks = list(attacks)
+        self.weights = dict(weights) if weights else {"bit-flip": 1.0}
+        for name in self.weights:
+            if name not in self.STRATEGIES:
+                raise ValueError(f"unknown fuzz strategy {name!r}")
+        self.injected: Dict[str, int] = {}
+
+    # -- strategies ------------------------------------------------------
+    def _oob_probe(self, rng: random.Random, request: bytes) -> bytes:
+        if not self.attacks:
+            return self._bit_flip(rng, request)
+        return rng.choice(self.attacks)()
+
+    def _inflate_length(self, rng: random.Random, request: bytes) -> bytes:
+        field = self.length_field
+        if field is None:
+            return self._bit_flip(rng, request)
+        scale = rng.choice((4, 16, 64, 1024))
+        return field.patch(request, len(request) * scale)
+
+    def _negative_length(self, rng: random.Random, request: bytes) -> bytes:
+        field = self.length_field
+        if field is None or not field.signed:
+            return self._inflate_length(rng, request)
+        return field.patch(request, -rng.randrange(1, 1 << 16))
+
+    def _truncate(self, rng: random.Random, request: bytes) -> bytes:
+        if len(request) < 2:
+            return request
+        return request[:rng.randrange(1, len(request))]
+
+    def _bit_flip(self, rng: random.Random, request: bytes) -> bytes:
+        if not request:
+            return request
+        pos = rng.randrange(len(request))
+        return (request[:pos] + bytes((request[pos] ^ (1 << rng.randrange(8)),))
+                + request[pos + 1:])
+
+    # -- driver ----------------------------------------------------------
+    def apply(self, requests: Sequence[bytes]) -> List[bytes]:
+        """Return a corrupted copy of ``requests`` (input untouched)."""
+        rng = random.Random(self.seed)
+        names = sorted(self.weights)
+        weights = [self.weights[n] for n in names]
+        handlers = {
+            "oob-probe": self._oob_probe,
+            "inflate-length": self._inflate_length,
+            "negative-length": self._negative_length,
+            "truncate": self._truncate,
+            "bit-flip": self._bit_flip,
+        }
+        out: List[bytes] = []
+        for request in requests:
+            if rng.random() >= self.rate:
+                out.append(request)
+                continue
+            name = rng.choices(names, weights=weights)[0]
+            out.append(handlers[name](rng, request))
+            self.injected[name] = self.injected.get(name, 0) + 1
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        out = dict(self.injected)
+        out["injected_total"] = sum(self.injected.values())
+        return out
+
+
+class FaultInjector:
+    """Seeded runtime fault injector attached to a VM (``vm.faults``).
+
+    * ``tag_flip_rate`` — probability a freshly ``malloc``'d pointer gets
+      one bit of its *tag half* (bits 32..63, the SGXBounds upper bound)
+      flipped.  Models metadata corruption: the scheme should detect the
+      resulting bogus bounds rather than walk off the object.
+    * ``epc_spike_rate`` — probability each received request is preceded
+      by a full EPC flush (pressure spike), forcing the enclave to
+      re-fault its working set.
+    """
+
+    def __init__(self, seed: int, tag_flip_rate: float = 0.0,
+                 epc_spike_rate: float = 0.0):
+        self.rng = random.Random(seed)
+        self.tag_flip_rate = tag_flip_rate
+        self.epc_spike_rate = epc_spike_rate
+        self.tag_flips = 0
+        self.epc_spikes = 0
+        self.epc_pages_flushed = 0
+
+    def corrupt_pointer(self, vm, ptr: int) -> int:
+        """Maybe flip one tag bit of ``ptr`` (called from ``malloc``)."""
+        if self.tag_flip_rate <= 0.0 or ptr >> 32 == 0:
+            return ptr
+        if self.rng.random() >= self.tag_flip_rate:
+            return ptr
+        self.tag_flips += 1
+        return ptr ^ (1 << self.rng.randrange(32, 64))
+
+    def on_request(self, vm) -> None:
+        """Maybe fire an EPC pressure spike (called from ``net_recv``)."""
+        if self.epc_spike_rate <= 0.0:
+            return
+        if self.rng.random() >= self.epc_spike_rate:
+            return
+        epc = vm.enclave.epc
+        if epc is None:
+            return
+        self.epc_spikes += 1
+        self.epc_pages_flushed += epc.flush()
+        # The spike itself costs the enclave: the paper's §2.1 eviction
+        # path (re-encryption + ocall) per page, coarsely.
+        vm.charge(50 * max(1, self.epc_pages_flushed // max(1, self.epc_spikes)))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "tag_flips": self.tag_flips,
+            "epc_spikes": self.epc_spikes,
+            "epc_pages_flushed": self.epc_pages_flushed,
+        }
+
+
+def derive(seed: int, salt: str) -> int:
+    """Stable sub-seed for component ``salt`` of a run seeded ``seed``."""
+    h = 0x811C9DC5
+    for ch in f"{seed}:{salt}".encode():
+        h = ((h ^ ch) * 0x01000193) & 0xFFFFFFFF
+    return h

@@ -61,6 +61,28 @@ def series_table(title: str, columns: Sequence[str],
     return "\n".join(lines)
 
 
+def render_violation(context: Dict[str, object]) -> str:
+    """One-paragraph rendering of a structured violation context
+    (:meth:`repro.errors.BoundsViolation.context`)."""
+    access = context.get("access") or "access"
+    function = context.get("function") or "?"
+    what = context.get("what")
+    policy = context.get("policy") or "abort"
+    outcome = context.get("outcome") or "raised"
+    lines = [
+        f"violation: {context.get('scheme', '?')} detected an out-of-bounds "
+        f"{access} of {context.get('size', '?')} byte(s)",
+        f"  address : 0x{context.get('address', 0):08x} "
+        f"(object [0x{context.get('lower', 0):08x}, "
+        f"0x{context.get('upper', 0):08x}))",
+        f"  in      : {function}()",
+        f"  policy  : {policy} -> {outcome}",
+    ]
+    if what:
+        lines.insert(2, f"  detail  : {what}")
+    return "\n".join(lines)
+
+
 def _fmt(cell: object) -> str:
     if cell is None:
         return "crash"

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.asan import ASanScheme
 from repro.baggy import BaggyScheme
 from repro.core import SGXBoundsScheme
-from repro.errors import OutOfMemory, ReproError
+from repro.errors import BoundsViolation, OutOfMemory, ReproError
 from repro.minic import compile_source
 from repro.mpx import MPXScheme
 from repro.sgx import Enclave, EnclaveConfig
@@ -49,6 +49,11 @@ class RunResult:
         self.peak_reserved = 0
         self.scheme_report: Dict[str, int] = {}
         self.output = ""
+        #: Structured context of the violation that killed the run (if any).
+        self.violation: Optional[Dict] = None
+        #: Resilience accounting for chaos runs (recoveries, net stats,
+        #: injected faults); empty for plain runs.
+        self.resilience: Dict[str, object] = {}
 
     @property
     def ok(self) -> bool:
@@ -102,16 +107,29 @@ def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
                scheme_name: str, n: int, threads: int = 1,
                config: Optional[EnclaveConfig] = None,
                scheme_kwargs: Optional[Dict] = None,
-               name: str = "server") -> RunResult:
-    """Run a network server app: requests pre-queued per connection."""
+               name: str = "server", policy: Optional[str] = None,
+               net: Optional[NetworkSim] = None, faults=None,
+               seed: Optional[int] = None) -> RunResult:
+    """Run a network server app: requests pre-queued per connection.
+
+    ``policy`` selects the violation policy for protected schemes;
+    ``net`` substitutes a pre-configured :class:`NetworkSim` (retries,
+    backoff, seed); ``faults`` attaches a
+    :class:`repro.faults.FaultInjector`; ``seed`` perturbs the VM's
+    thread scheduler.  All default to the exact original behaviour.
+    """
     result = RunResult(name, scheme_name, "-", threads)
-    scheme = SCHEMES[scheme_name](**(scheme_kwargs or {}))
+    kwargs = dict(scheme_kwargs or {})
+    if policy is not None and scheme_name != "native":
+        kwargs.setdefault("policy", policy)
+    scheme = SCHEMES[scheme_name](**kwargs)
     module = compile_source(source, name)
     module = scheme.instrument(module) if scheme else module.clone()
     module.finalize()
     enclave = Enclave(config) if config is not None else Enclave()
-    vm = VM(enclave=enclave, scheme=scheme)
-    vm.net = NetworkSim()
+    vm = VM(enclave=enclave, scheme=scheme, seed=seed)
+    vm.net = net if net is not None else NetworkSim()
+    vm.faults = faults
     for conn_requests in requests_by_conn:
         vm.net.connect(*conn_requests)
     try:
@@ -121,8 +139,20 @@ def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
         result.crashed = "OOM"
     except ReproError as err:
         result.crashed = type(err).__name__
+        if isinstance(err, BoundsViolation):
+            result.violation = err.context()
     out = _finish(result, vm, scheme)
     out.net = vm.net
+    if scheme is not None and scheme.violation_log and out.violation is None:
+        out.violation = scheme.violation_log[0]
+    out.resilience = {
+        "dropped_requests": vm.dropped_requests,
+        "recovered_requests": vm.recovered_requests,
+        "violations": scheme.violations if scheme is not None else 0,
+        "net": vm.net.stats(),
+    }
+    if faults is not None:
+        out.resilience["faults"] = faults.stats()
     return out
 
 

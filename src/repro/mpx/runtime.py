@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.errors import BoundsViolation
 from repro.memory.layout import ADDRESS_MASK
+from repro.vm import policy as violation_policy
 from repro.vm.scheme import SchemeRuntime
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
@@ -46,8 +47,9 @@ class MPXScheme(SchemeRuntime):
     name = "mpx"
     uses_register_bounds = True
 
-    def __init__(self, optimize_safe: bool = True, bt_cover_shift: int = 18):
-        super().__init__()
+    def __init__(self, optimize_safe: bool = True, bt_cover_shift: int = 18,
+                 policy: str = violation_policy.ABORT):
+        super().__init__(policy=policy)
         self.optimize_safe = optimize_safe
         self.bt_cover_shift = bt_cover_shift
         self.bt_size = ((1 << bt_cover_shift) // SLOT_SIZE) * BT_ENTRY_SIZE
@@ -133,9 +135,15 @@ class MPXScheme(SchemeRuntime):
             vm.charge(2)    # bndcl + bndcu in the wrapper
             vm.counters.bounds_checks += 2
             if address < lower or address + size > upper:
-                self.violations += 1
-                raise BoundsViolation(self.name, address, lower, upper, size,
-                                      what="libc wrapper")
+                self.handle_violation(vm, BoundsViolation(
+                    self.name, address, lower, upper, size,
+                    access="write" if is_write else "read",
+                    what="libc wrapper"))
+                if self.policy != violation_policy.LOG_AND_CONTINUE:
+                    # No overlay to redirect into: clamp to the register
+                    # bounds so the wrapper stays inside the object.
+                    return (address, max(0, min(address + size, upper)
+                                         - max(address, lower)))
         return (address, size)
 
     # -- reporting -----------------------------------------------------------------------

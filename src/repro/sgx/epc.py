@@ -49,6 +49,15 @@ class EPC:
     def resident_pages(self) -> int:
         return len(self._resident)
 
+    def flush(self) -> int:
+        """Evict every resident page (an EPC pressure spike: another enclave
+        or the kernel claimed the cache).  Subsequent touches re-fault.
+        Returns the number of pages evicted."""
+        evicted = len(self._resident)
+        self._resident.clear()
+        self.evictions += evicted
+        return evicted
+
     def reset(self) -> None:
         self._resident.clear()
         self.faults = 0

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import VMError
+from repro.vm import policy as violation_policy
 
 _CALL_COST = 6
 
@@ -39,6 +40,8 @@ def _malloc(vm, thread, args):
     vm.charge(40)
     from repro.vm.machine import NativeResult
     ptr = vm.scheme.malloc(vm, args[0])
+    if vm.faults is not None:
+        ptr = vm.faults.corrupt_pointer(vm, ptr)
     bounds = vm.scheme.alloc_bounds(ptr, args[0])
     return NativeResult(ptr, bounds)
 
@@ -202,10 +205,15 @@ def _net_recv(vm, thread, args):
         raise VMError("net_recv: no network attached to this VM")
     conn, buf, length = args[0], args[1], args[2]
     vm.charge(80)
+    if vm.faults is not None:
+        vm.faults.on_request(vm)
     extent = vm.scheme.object_extent(vm, buf)
     if extent is not None and extent < length:
-        if vm.scheme.boundless:
-            return (1 << 64) - 1   # -1: EINVAL, drop the request
+        if vm.scheme.policy != violation_policy.ABORT:
+            # EINVAL: any tolerant policy drops the malformed request
+            # here rather than raising (raising under drop-request would
+            # roll back to this very recv and loop forever).
+            return (1 << 64) - 1
         vm.scheme.libc_range(vm, buf, length, True,
                              arg_bounds=_arg_bounds(vm, 1))
     data = vm.net.recv(conn, length)
@@ -214,6 +222,11 @@ def _net_recv(vm, thread, args):
     d_addr, d_ok = _range(vm, buf, len(data), True, 1)
     vm.bulk_write(d_addr, data[:d_ok])
     vm.charge(len(data) // 8)
+    if vm.scheme.policy == violation_policy.DROP_REQUEST:
+        # Ask the VM to checkpoint this thread at the CALL boundary; a
+        # violation while handling this request then rolls back here.
+        vm._ckpt_pending = (conn, data)
+        vm.charge(30)    # checkpoint cost (setjmp + state save)
     return len(data)
 
 

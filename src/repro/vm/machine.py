@@ -20,12 +20,14 @@ Design notes relevant to the reproduction:
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     BoundsViolation,
     ControlFlowHijack,
     ProgramExit,
+    RequestAborted,
     SegmentationFault,
     TrapError,
     VMError,
@@ -42,6 +44,7 @@ from repro.memory.layout import (
 )
 from repro.sgx.cache import LINE_SIZE
 from repro.sgx.enclave import Enclave
+from repro.vm import policy as violation_policy
 from repro.vm.loader import Program, load_program
 from repro.vm.scheme import SchemeRuntime
 
@@ -52,6 +55,10 @@ _SIGN64 = 1 << 63
 
 #: Sentinel a native returns to mean "re-execute this call when unblocked".
 BLOCK_RETRY = object()
+
+#: Simulated-cycle cost of rolling a thread back to its request checkpoint
+#: (restoring frames + re-arming return tokens; a longjmp-and-cleanup path).
+RECOVERY_COST = 400
 
 
 class NativeResult:
@@ -167,7 +174,7 @@ class Thread:
     """A simulated thread with its own stack region and call stack."""
 
     __slots__ = ("tid", "frames", "state", "sp", "stack_base", "stack_top",
-                 "result", "wait")
+                 "result", "wait", "checkpoint")
 
     def __init__(self, tid: int, stack_base: int, stack_top: int):
         self.tid = tid
@@ -178,6 +185,55 @@ class Thread:
         self.stack_top = stack_top
         self.result: int = 0
         self.wait: Optional[Tuple[str, int]] = None
+        self.checkpoint: Optional["RequestCheckpoint"] = None
+
+
+class RequestCheckpoint:
+    """Recovery point taken at a ``net_recv`` boundary (drop-request policy).
+
+    Snapshots the thread's *control state* — call stack, register files,
+    program counters, stack pointer — right before the received request is
+    handed to the program.  On a violation the VM restores this state, so
+    the re-executed ``net_recv`` picks up the next request and the server
+    keeps serving.  Heap/global memory is deliberately NOT rolled back:
+    the isolation is request-level control-flow isolation, the same
+    guarantee a forked worker or longjmp-based recovery gives, not full
+    memory transactionality.
+    """
+
+    __slots__ = ("frames", "sp", "conn", "request")
+
+    def __init__(self, thread: Thread, conn: int, request: bytes):
+        self.frames = [
+            (f.fn, f.consts, list(f.regs), f.pc, f.dest, f.base,
+             f.ret_slot, f.token,
+             dict(f.bounds) if f.bounds is not None else None)
+            for f in thread.frames
+        ]
+        self.sp = thread.sp
+        self.conn = conn
+        self.request = request
+
+    def restore(self, thread: Thread) -> None:
+        frames: List[Frame] = []
+        for fn, consts, regs, pc, dest, base, ret_slot, token, bounds \
+                in self.frames:
+            frame = Frame.__new__(Frame)
+            frame.fn = fn
+            frame.code = fn.code
+            frame.consts = consts
+            frame.regs = list(regs)
+            frame.pc = pc
+            frame.dest = dest
+            frame.base = base
+            frame.ret_slot = ret_slot
+            frame.token = token
+            frame.bounds = dict(bounds) if bounds is not None else None
+            frames.append(frame)
+        thread.frames = frames
+        thread.sp = self.sp
+        thread.state = RUNNABLE
+        thread.wait = None
 
 
 class VM:
@@ -187,7 +243,8 @@ class VM:
                  scheme: Optional[SchemeRuntime] = None,
                  quantum: int = 200,
                  max_instructions: int = 2_000_000_000,
-                 stack_size: int = DEFAULT_STACK_SIZE):
+                 stack_size: int = DEFAULT_STACK_SIZE,
+                 seed: Optional[int] = None):
         self.enclave = enclave or Enclave()
         self.space = self.enclave.space
         self.counters = self.enclave.counters
@@ -195,6 +252,16 @@ class VM:
         self.quantum = quantum
         self.max_instructions = max_instructions
         self.stack_size = stack_size
+        # Seeded scheduler perturbation for chaos runs; None (the default)
+        # keeps the exact deterministic round-robin order of the seed.
+        self.rng: Optional[random.Random] = (
+            random.Random(seed) if seed is not None else None)
+        #: Fault injector (``repro.faults.FaultInjector``) hooked into the
+        #: allocator and net natives; None disables injection entirely.
+        self.faults = None
+        self._ckpt_pending: Optional[Tuple[int, bytes]] = None
+        self.dropped_requests = 0
+        self.recovered_requests = 0
         self.program: Optional[Program] = None
         self.threads: List[Thread] = []
         self.current: Optional[Thread] = None
@@ -313,11 +380,33 @@ class VM:
         try:
             while True:
                 progressed = False
-                for thread in list(self.threads):
+                order = list(self.threads)
+                rng = self.rng
+                if rng is not None and len(order) > 1:
+                    rng.shuffle(order)
+                for thread in order:
                     if thread.state != RUNNABLE:
                         continue
                     progressed = True
-                    self._step(thread, self.quantum)
+                    quantum = self.quantum
+                    if rng is not None and quantum >= 8:
+                        jitter = quantum // 8
+                        quantum += rng.randrange(-jitter, jitter + 1)
+                    try:
+                        self._step(thread, quantum)
+                    except RequestAborted as drop:
+                        self.current = None
+                        if not self._recover_request(thread, drop.violation):
+                            raise drop.violation from None
+                    except (SegmentationFault, ControlFlowHijack,
+                            TrapError) as err:
+                        # Under drop-request even a late crash (the check
+                        # was evaded or the scheme missed the overflow) is
+                        # contained to the in-flight request.
+                        self.current = None
+                        if (self.scheme.policy != violation_policy.DROP_REQUEST
+                                or not self._recover_request(thread, err)):
+                            raise
                     if main_thread.state == DONE:
                         self.exit_value = main_thread.result
                         return self.exit_value
@@ -343,6 +432,34 @@ class VM:
             if other.state == BLOCKED and other.wait == ("lock", address):
                 other.state = RUNNABLE
                 other.wait = None
+
+    def _recover_request(self, thread: Thread, err: Exception) -> bool:
+        """Roll ``thread`` back to its request checkpoint after ``err``.
+
+        Returns False when no checkpoint exists (violation outside request
+        handling) — the caller then re-raises fail-stop.
+        """
+        ckpt = thread.checkpoint
+        if ckpt is None:
+            return False
+        ckpt.restore(thread)
+        # Re-arm the return-address tokens: the dropped request may have
+        # smashed the stack (e.g. CVE-2013-2028) and recovery must not die
+        # on a corrupted token it is about to discard anyway.  Untraced:
+        # modelled as part of the flat RECOVERY_COST below.
+        tracer, self.space.tracer = self.space.tracer, None
+        try:
+            for frame in thread.frames:
+                self.space.write_u64(frame.ret_slot, frame.token)
+        finally:
+            self.space.tracer = tracer
+        self.charge(RECOVERY_COST)
+        self.dropped_requests += 1
+        self.recovered_requests += 1
+        net = getattr(self, "net", None)
+        if net is not None and hasattr(net, "fail_request"):
+            net.fail_request(ckpt.conn, ckpt.request)
+        return True
 
     def _corrupted_return(self, actual: int) -> None:
         target = actual & ADDRESS_MASK
@@ -491,6 +608,17 @@ class VM:
                                 frame.pc = pc   # re-execute the call on wake
                                 switch = True
                                 break
+                            if self._ckpt_pending is not None:
+                                # net_recv asked for a request checkpoint.
+                                # Snapshot at the CALL itself (before the
+                                # result lands in a register): restoring
+                                # re-executes net_recv, which then serves
+                                # the *next* request.
+                                ck_conn, ck_raw = self._ckpt_pending
+                                self._ckpt_pending = None
+                                frame.pc = pc
+                                thread.checkpoint = RequestCheckpoint(
+                                    thread, ck_conn, ck_raw)
                             if type(result) is NativeResult:
                                 if ins.dest is not None:
                                     regs[ins.dest] = result.value
@@ -642,8 +770,9 @@ class VM:
                         a = ins.a
                         val = (regs[a] if a >= 0 else consts[-a - 1]) & M32
                         if val < bnd[0]:
-                            raise BoundsViolation("mpx", val, bnd[0], bnd[1],
-                                                  what="bndcl")
+                            self.scheme.handle_violation(self, BoundsViolation(
+                                "mpx", val, bnd[0], bnd[1], access="read",
+                                what="bndcl"))
                     pc += 1
                     continue
 
@@ -655,8 +784,9 @@ class VM:
                         a = ins.a
                         val = (regs[a] if a >= 0 else consts[-a - 1]) & M32
                         if val + ins.size > bnd[1]:
-                            raise BoundsViolation("mpx", val, bnd[0], bnd[1],
-                                                  size=ins.size, what="bndcu")
+                            self.scheme.handle_violation(self, BoundsViolation(
+                                "mpx", val, bnd[0], bnd[1], size=ins.size,
+                                access="read", what="bndcu"))
                     pc += 1
                     continue
 

@@ -1,0 +1,55 @@
+"""Violation policies: what the runtime does when a bounds check fails.
+
+The paper evaluates two responses to a detected spatial violation:
+fail-stop (crash the enclave, §3) and *boundless memory* (tolerate the
+access through the overlay cache, §4.2).  Long-running shielded services
+need the full spectrum, so every scheme runtime carries a per-run
+:data:`ViolationPolicy`:
+
+``abort``
+    Fail-stop: raise :class:`repro.errors.BoundsViolation` and kill the
+    enclave.  The default, and exactly the seed behaviour.
+
+``boundless``
+    Failure-oblivious: redirect the access into the boundless overlay
+    (SGXBounds) or clamp it in the libc wrappers.  Schemes without an
+    overlay degrade to ``log-and-continue`` semantics for plain accesses
+    but still clamp wrapper-visible ranges.
+
+``log-and-continue``
+    Audit mode: record the violation with full context and let the access
+    proceed exactly as the uninstrumented program would have performed it.
+    Detection without protection — useful for measuring attack surface.
+
+``drop-request``
+    Request-level graceful degradation: abort only the in-flight request.
+    The VM rolls the faulting thread back to its last request checkpoint
+    (taken at the ``net_recv`` boundary), the client is notified with an
+    error response, and the server keeps serving.  Outside a request
+    (no checkpoint yet) this degrades to ``abort``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+ABORT = "abort"
+BOUNDLESS = "boundless"
+LOG_AND_CONTINUE = "log-and-continue"
+DROP_REQUEST = "drop-request"
+
+ALL_POLICIES: Tuple[str, ...] = (ABORT, BOUNDLESS, LOG_AND_CONTINUE,
+                                 DROP_REQUEST)
+
+#: Policies under which execution continues past a violation in-place
+#: (as opposed to aborting the enclave or unwinding the request).
+CONTINUING = frozenset((BOUNDLESS, LOG_AND_CONTINUE))
+
+
+def validate(policy: str) -> str:
+    """Return ``policy`` if known, else raise ``ValueError``."""
+    if policy not in ALL_POLICIES:
+        raise ValueError(
+            f"unknown violation policy {policy!r}; "
+            f"expected one of {', '.join(ALL_POLICIES)}")
+    return policy

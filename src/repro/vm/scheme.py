@@ -12,13 +12,19 @@ SGXBounds, AddressSanitizer or Intel MPX.  Each scheme contributes
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from repro.errors import BoundsViolation, RequestAborted
 from repro.memory.layout import ADDRESS_MASK
+from repro.vm import policy as violation_policy
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
     from repro.ir.module import GlobalVar, Module
     from repro.vm.machine import VM
+
+#: Structured violation records kept per run (bounded; chaos runs can
+#: produce thousands of tolerated violations).
+VIOLATION_LOG_CAP = 128
 
 
 class SchemeRuntime:
@@ -34,9 +40,46 @@ class SchemeRuntime:
     #: 8-byte shadow granule).
     global_min_align = 1
 
-    def __init__(self) -> None:
+    def __init__(self, policy: str = violation_policy.ABORT) -> None:
         self.vm: Optional["VM"] = None
+        self.policy = violation_policy.validate(policy)
         self.violations = 0
+        self.violation_log: List[dict] = []
+
+    # -- violation policy --------------------------------------------------
+    def handle_violation(self, vm: Optional["VM"],
+                         err: BoundsViolation) -> None:
+        """Apply this run's :mod:`violation policy <repro.vm.policy>`.
+
+        Under ``abort`` the violation itself is raised (fail-stop, the
+        seed behaviour); under ``drop-request`` a
+        :class:`~repro.errors.RequestAborted` is raised so the VM can roll
+        the in-flight request back to its checkpoint.  Under the
+        continuing policies (``boundless``, ``log-and-continue``) the
+        method records the violation and *returns* — the caller then
+        redirects, clamps, or passes the access through.
+        """
+        self.violations += 1
+        err.policy = self.policy
+        if not err.function and vm is not None:
+            thread = getattr(vm, "current", None)
+            if thread is not None and thread.frames:
+                err.function = thread.frames[-1].fn.name
+        if self.policy == violation_policy.ABORT:
+            err.outcome = "aborted"
+            self._record_violation(err)
+            raise err
+        if self.policy == violation_policy.DROP_REQUEST:
+            err.outcome = "request-dropped"
+            self._record_violation(err)
+            raise RequestAborted(err)
+        err.outcome = ("redirected" if self.policy == violation_policy.BOUNDLESS
+                       else "logged")
+        self._record_violation(err)
+
+    def _record_violation(self, err: BoundsViolation) -> None:
+        if len(self.violation_log) < VIOLATION_LOG_CAP:
+            self.violation_log.append(err.context())
 
     # -- lifecycle -------------------------------------------------------
     def attach(self, vm: "VM") -> None:

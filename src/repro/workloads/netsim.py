@@ -5,21 +5,73 @@ link; here clients are request generators feeding per-connection byte
 queues, and the servers reach them through the ``net_recv``/``net_send``
 natives (the SCONE syscall interface).  Throughput is measured server-side
 in simulated cycles per served request.
+
+For the chaos experiments the clients are hardened the way real load
+generators are: every connection keeps delivery/response accounting, a
+request the server drops (``drop-request`` policy) can be retried a
+bounded number of times with exponential backoff before the client gives
+up and records an error, and all jitter comes from a seeded RNG so a
+chaos run is reproducible byte-for-byte.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+#: Synthetic response the "client library" surfaces when the server drops
+#: a request for good (retries exhausted).  Lives in the outgoing stream
+#: so tests can assert the client saw the failure, but is NOT counted as a
+#: served response.
+ERROR_MARKER = b"ERR!"
 
-class NetworkSim:
-    """Message-oriented connection queues."""
+
+class ConnStats:
+    """Per-connection delivery accounting."""
+
+    __slots__ = ("pushed", "delivered", "responses", "errors", "retries",
+                 "failed", "backoff_cycles")
 
     def __init__(self) -> None:
+        self.pushed = 0          # requests queued by the client
+        self.delivered = 0       # requests fully read by the server
+        self.responses = 0       # server responses (net_send calls)
+        self.errors = 0          # error markers surfaced to the client
+        self.retries = 0         # dropped requests re-queued for retry
+        self.failed = 0          # requests abandoned after max retries
+        self.backoff_cycles = 0  # client-side cycles spent backing off
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class NetworkSim:
+    """Message-oriented connection queues with failure accounting.
+
+    ``retry_limit`` is how many times a client re-submits a request the
+    server dropped; ``backoff_cycles`` is the base of the exponential
+    backoff between attempts (doubled per retry, plus seeded jitter).
+    The defaults (no retries, no seed) behave exactly like the original
+    fire-and-forget queues.
+    """
+
+    def __init__(self, retry_limit: int = 0, backoff_cycles: int = 200,
+                 seed: Optional[int] = None) -> None:
         self._incoming: Dict[int, Deque[bytes]] = {}
         self._outgoing: Dict[int, List[bytes]] = {}
         self._next_conn = 0
+        self.retry_limit = retry_limit
+        self.backoff_cycles = backoff_cycles
+        self._rng = random.Random(seed) if seed is not None else None
+        self.conn_stats: Dict[int, ConnStats] = {}
+        self._attempts: Dict[tuple, int] = {}
+
+    def _stats(self, conn: int) -> ConnStats:
+        stats = self.conn_stats.get(conn)
+        if stats is None:
+            stats = self.conn_stats[conn] = ConnStats()
+        return stats
 
     def connect(self, *requests: bytes) -> int:
         """Open a connection with ``requests`` queued for the server."""
@@ -27,11 +79,13 @@ class NetworkSim:
         self._next_conn += 1
         self._incoming[conn] = deque(requests)
         self._outgoing[conn] = []
+        self._stats(conn).pushed += len(requests)
         return conn
 
     def push(self, conn: int, data: bytes) -> None:
         """Queue one more request on an existing connection."""
         self._incoming[conn].append(data)
+        self._stats(conn).pushed += 1
 
     def recv(self, conn: int, maxlen: int) -> Optional[bytes]:
         """Server-side receive: up to ``maxlen`` bytes of the front
@@ -44,10 +98,38 @@ class NetworkSim:
             head, rest = message[:maxlen], message[maxlen:]
             queue.appendleft(rest)
             return head
+        self._stats(conn).delivered += 1
         return message
 
     def send(self, conn: int, data: bytes) -> None:
         self._outgoing.setdefault(conn, []).append(data)
+        self._stats(conn).responses += 1
+
+    def fail_request(self, conn: int, raw: bytes) -> bool:
+        """The server dropped ``raw`` mid-flight (drop-request recovery).
+
+        Returns True when the client re-queues it for another attempt,
+        False when retries are exhausted and the client records an error.
+        """
+        stats = self._stats(conn)
+        key = (conn, raw)
+        attempt = self._attempts.get(key, 0)
+        if attempt < self.retry_limit:
+            self._attempts[key] = attempt + 1
+            stats.retries += 1
+            backoff = self.backoff_cycles << attempt
+            if self._rng is not None:
+                backoff += self._rng.randrange(0, self.backoff_cycles // 4 + 1)
+            stats.backoff_cycles += backoff
+            self._incoming.setdefault(conn, deque()).append(raw)
+            return True
+        self._attempts.pop(key, None)
+        stats.failed += 1
+        stats.errors += 1
+        # Surface the failure to the client without counting it as a
+        # served response.
+        self._outgoing.setdefault(conn, []).append(ERROR_MARKER)
+        return False
 
     def sent(self, conn: int) -> List[bytes]:
         """Everything the server wrote to ``conn``."""
@@ -55,3 +137,19 @@ class NetworkSim:
 
     def pending(self, conn: int) -> int:
         return len(self._incoming.get(conn, ()))
+
+    def unserved(self) -> int:
+        """Requests still sitting in client queues (server never got to
+        them — e.g. it crashed)."""
+        return sum(len(q) for q in self._incoming.values())
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate delivery statistics across all connections."""
+        total = ConnStats()
+        for stats in self.conn_stats.values():
+            for name in ConnStats.__slots__:
+                setattr(total, name, getattr(total, name) + getattr(stats, name))
+        out = total.as_dict()
+        out["availability"] = (total.responses / total.pushed
+                               if total.pushed else 1.0)
+        return out

@@ -94,6 +94,96 @@ class TestOverlaySemantics:
         assert len(cache._chunks) <= cache.capacity_chunks
 
 
+class _FakeThread:
+    def __init__(self, tid):
+        self.tid = tid
+
+
+class TestEvictionPinning:
+    """Regression: a >1 MiB OOB sweep evicting the overlay must never
+    recycle the chunk another thread was just handed an address into."""
+
+    def _cache_and_vm(self, capacity_chunks=4):
+        cache = BoundlessCache(capacity_bytes=capacity_chunks * 1024,
+                               chunk_size=1024)
+        vm = VM(scheme=SGXBoundsScheme(boundless=True))
+        return cache, vm
+
+    def test_eviction_skips_concurrently_held_chunk(self):
+        cache, vm = self._cache_and_vm(capacity_chunks=4)
+        base = 0x900000
+        key_of = lambda addr: addr // cache.chunk_size
+        # Thread 1 is handed a chunk for `base` and is "mid-access".
+        vm.current = _FakeThread(1)
+        cache.translate(vm, base, 8, is_write=True)
+        held = key_of(base)
+        # Thread 2 sweeps far past capacity; LRU would evict thread 1's
+        # chunk first (it is the oldest), pinning must skip it.
+        vm.current = _FakeThread(2)
+        for i in range(1, 12):
+            cache.translate(vm, base + i * 2048, 8, is_write=True)
+        assert held in cache._chunks
+        assert cache.evictions >= 7
+
+    def test_all_pinned_falls_back_to_lru(self):
+        cache, vm = self._cache_and_vm(capacity_chunks=1)
+        vm.current = _FakeThread(1)
+        cache.translate(vm, 0x900000, 8, is_write=True)
+        # Same thread moves on: its pin migrates to the new chunk, the old
+        # one is evictable even though every chunk belongs to *some* pin.
+        cache.translate(vm, 0x902000, 8, is_write=True)
+        assert cache.evictions == 1
+        assert len(cache._chunks) == 1
+
+    def test_read_after_eviction_falls_back_to_zero_page(self):
+        cache, vm = self._cache_and_vm(capacity_chunks=2)
+        vm.current = _FakeThread(1)
+        addr = 0x900000
+        spot = cache.translate(vm, addr, 8, is_write=True)
+        vm.space.write_u32(spot, 0xDEAD)
+        # Force the chunk out.
+        for i in range(1, 4):
+            cache.translate(vm, addr + i * 2048, 8, is_write=True)
+        assert addr // cache.chunk_size not in cache._chunks
+        readback = cache.translate(vm, addr, 4, is_write=False)
+        zero = cache.zero_page(vm)
+        assert zero <= readback < zero + 4096
+        assert vm.space.read_u32(readback) == 0
+
+    def test_translate_without_running_thread(self):
+        """Harness code calls translate() with no thread scheduled (the
+        test above does too) — tid -1 must work."""
+        cache, vm = self._cache_and_vm()
+        assert vm.current is None
+        spot = cache.translate(vm, 0x900000, 8, is_write=True)
+        assert spot != 0
+
+    def test_two_thread_oob_sweep_end_to_end(self):
+        """Two threads hammering the overlay concurrently: every OOB read
+        observes either its own written value or zeros — never another
+        chunk's bytes (the pre-fix failure mode)."""
+        src = """
+        int worker(int who) {
+            char *p = (char*)malloc(8);
+            int bad = 0;
+            for (uint off = 64; off < 2200000; off += 1024) {
+                p[off] = 7;
+                int got = p[off];
+                if (got != 7 && got != 0) bad++;
+            }
+            return bad;
+        }
+        int main() {
+            int t1 = spawn(worker, 1);
+            int t2 = spawn(worker, 2);
+            return join(t1) + join(t2);
+        }
+        """
+        value, _, scheme = run_boundless(src)
+        assert value == 0
+        assert scheme.overlay.evictions > 0
+
+
 class TestErrnoStyleWrappers:
     def test_recv_into_small_buffer_returns_error(self):
         """Paper §5.1: libc wrappers return an error code (EINVAL) instead

@@ -4,6 +4,7 @@ import pytest
 
 from repro.harness.runner import run_server, run_workload
 from repro.workloads.apps import apache, memcached, nginx, sqlite_kv
+from repro.workloads.netsim import ERROR_MARKER, NetworkSim
 from repro.workloads.registry import Workload
 
 
@@ -124,6 +125,92 @@ class TestApache:
                           threads=1, name="apache")
         assert sgxb.ok and native.ok
         assert sgxb.peak_reserved > native.peak_reserved
+
+
+class TestViolationPolicies:
+    """The CVE attacks under each violation policy (tentpole acceptance)."""
+
+    def test_heartbleed_abort_still_raises(self):
+        r = run_server(apache.SOURCE, [[apache.heartbleed_request()]],
+                       "sgxbounds", 1, threads=1, name="apache",
+                       policy="abort")
+        assert r.crashed == "BoundsViolation"
+        assert r.violation is not None
+        assert r.violation["policy"] == "abort"
+        assert r.violation["outcome"] == "aborted"
+
+    def test_heartbleed_boundless_leaks_nothing(self):
+        requests = [apache.heartbleed_request(), apache.static_get()]
+        r = run_server(apache.SOURCE, [requests], "sgxbounds", 2, threads=1,
+                       name="apache", policy="boundless")
+        assert r.ok and r.result == 2
+        assert b"SSSS" not in r.net.sent(0)[0]
+
+    def test_heartbleed_drop_request_server_survives(self):
+        requests = [apache.heartbeat(b"honest-1"),
+                    apache.heartbleed_request(),
+                    apache.heartbeat(b"honest-2")]
+        r = run_server(apache.SOURCE, [requests], "sgxbounds", 3, threads=1,
+                       name="apache", policy="drop-request")
+        assert r.ok
+        sent = r.net.sent(0)
+        # Honest heartbeats echoed, attack turned into an error marker,
+        # and nothing leaked.
+        assert sent[0].startswith(b"honest-1")
+        assert ERROR_MARKER in sent
+        assert all(b"SSSS" not in m for m in sent)
+        assert r.resilience["dropped_requests"] == 1
+        assert r.resilience["net"]["errors"] == 1
+
+    def test_heartbleed_log_and_continue_detects_but_leaks(self):
+        """Audit mode: the violation is recorded with full context while
+        the leak proceeds as it would uninstrumented."""
+        r = run_server(apache.SOURCE, [[apache.heartbleed_request()]],
+                       "sgxbounds", 1, threads=1, name="apache",
+                       policy="log-and-continue")
+        assert r.ok
+        # Secret bytes leak (layout shifts by the 4-byte metadata word, so
+        # the secret may be truncated vs the native run — but it's there).
+        assert b"SSS" in r.net.sent(0)[0]
+        assert r.violation is not None
+        assert r.violation["outcome"] == "logged"
+        assert r.violation["access"] == "read"
+
+    def test_memcached_cve_drop_request_survives(self):
+        requests = (memcached.workload(4)
+                    + [memcached.cve_2011_4971_request()]
+                    + memcached.workload(4))
+        r = run_server(memcached.SOURCE, [requests], "sgxbounds",
+                       len(requests), name="memcached",
+                       policy="drop-request")
+        assert r.ok
+        assert r.resilience["dropped_requests"] == 1
+        # All benign requests answered; only the attack became an error.
+        stats = r.resilience["net"]
+        assert stats["responses"] == len(requests) - 1
+        assert stats["errors"] == 1
+
+    def test_nginx_cve_drop_request_survives(self):
+        requests = [nginx.get_request(), nginx.cve_2013_2028_request(),
+                    nginx.get_request()]
+        r = run_server(nginx.SOURCE, [requests], "sgxbounds", 3,
+                       name="nginx", policy="drop-request")
+        assert r.ok
+        assert r.resilience["dropped_requests"] == 1
+        assert r.resilience["net"]["responses"] == 2
+
+    def test_drop_request_clients_can_retry(self):
+        net = NetworkSim(retry_limit=1, seed=9)
+        requests = [memcached.make_request(1, b"k", b"v"),
+                    memcached.cve_2011_4971_request(),
+                    memcached.make_request(2, b"k")]
+        r = run_server(memcached.SOURCE, [requests], "sgxbounds", 3,
+                       name="memcached", policy="drop-request", net=net)
+        assert r.ok
+        stats = r.resilience["net"]
+        assert stats["retries"] == 1      # attack retried once...
+        assert stats["failed"] == 1       # ...then abandoned
+        assert r.resilience["dropped_requests"] == 2
 
 
 class TestNginx:

@@ -1,0 +1,254 @@
+"""Fault-injection engine, violation policies, and recovery tests."""
+
+import pytest
+
+from repro.core import SGXBoundsScheme
+from repro.errors import BoundsViolation, RequestAborted
+from repro.faults import FaultInjector, LengthField, RequestFuzzer, derive
+from repro.harness.chaos import chaos_availability, run_chaos_server
+from repro.harness.report import render_violation
+from repro.sgx.epc import EPC
+from repro.vm import VM
+from repro.vm import policy as violation_policy
+from repro.vm.scheme import SchemeRuntime
+from repro.workloads.netsim import ERROR_MARKER, NetworkSim
+from tests.util import run_c
+
+
+class TestPolicyModule:
+    def test_validate_accepts_all_known(self):
+        for p in violation_policy.ALL_POLICIES:
+            assert violation_policy.validate(p) == p
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown violation policy"):
+            violation_policy.validate("panic")
+
+    def test_scheme_constructor_validates(self):
+        with pytest.raises(ValueError):
+            SchemeRuntime(policy="nope")
+
+
+class TestHandleViolation:
+    def _err(self):
+        return BoundsViolation("test", 0x1000, 0x800, 0xC00, 4,
+                               access="write")
+
+    def test_abort_raises_with_context(self):
+        scheme = SchemeRuntime(policy="abort")
+        with pytest.raises(BoundsViolation) as info:
+            scheme.handle_violation(None, self._err())
+        assert info.value.policy == "abort"
+        assert info.value.outcome == "aborted"
+        assert scheme.violations == 1
+        assert scheme.violation_log[0]["address"] == 0x1000
+
+    def test_log_and_continue_records_and_returns(self):
+        scheme = SchemeRuntime(policy="log-and-continue")
+        scheme.handle_violation(None, self._err())
+        scheme.handle_violation(None, self._err())
+        assert scheme.violations == 2
+        assert [v["outcome"] for v in scheme.violation_log] == ["logged"] * 2
+
+    def test_drop_request_wraps_in_request_aborted(self):
+        scheme = SchemeRuntime(policy="drop-request")
+        with pytest.raises(RequestAborted) as info:
+            scheme.handle_violation(None, self._err())
+        assert isinstance(info.value.violation, BoundsViolation)
+        assert info.value.violation.outcome == "request-dropped"
+
+    def test_violation_log_is_bounded(self):
+        from repro.vm.scheme import VIOLATION_LOG_CAP
+        scheme = SchemeRuntime(policy="log-and-continue")
+        for _ in range(VIOLATION_LOG_CAP + 50):
+            scheme.handle_violation(None, self._err())
+        assert len(scheme.violation_log) == VIOLATION_LOG_CAP
+        assert scheme.violations == VIOLATION_LOG_CAP + 50
+
+    def test_drop_request_without_checkpoint_degrades_to_abort(self):
+        """A violation outside request handling (no net_recv checkpoint)
+        must still fail-stop, not hang or get swallowed."""
+        src = """
+        int main() {
+            char *p = (char*)malloc(8);
+            p[64] = 1;
+            return 0;
+        }
+        """
+        with pytest.raises(BoundsViolation):
+            run_c(src, scheme=SGXBoundsScheme(policy="drop-request"))
+
+    def test_render_violation_mentions_key_fields(self):
+        scheme = SchemeRuntime(policy="log-and-continue")
+        scheme.handle_violation(None, self._err())
+        text = render_violation(scheme.violation_log[0])
+        assert "0x00001000" in text
+        assert "log-and-continue" in text
+        assert "write" in text
+
+
+class TestRequestFuzzer:
+    REQS = [bytes((1, 4)) + b"\x08\x00" + b"abcdefgh" for _ in range(40)]
+
+    def test_deterministic_per_seed(self):
+        a = RequestFuzzer(7, 0.5, weights={"bit-flip": 1.0}).apply(self.REQS)
+        b = RequestFuzzer(7, 0.5, weights={"bit-flip": 1.0}).apply(self.REQS)
+        c = RequestFuzzer(8, 0.5, weights={"bit-flip": 1.0}).apply(self.REQS)
+        assert a == b
+        assert a != c
+
+    def test_rate_zero_is_identity(self):
+        fuzzer = RequestFuzzer(7, 0.0, weights={"bit-flip": 1.0})
+        assert fuzzer.apply(self.REQS) == self.REQS
+        assert fuzzer.stats()["injected_total"] == 0
+
+    def test_rate_one_corrupts_everything(self):
+        fuzzer = RequestFuzzer(7, 1.0, weights={"bit-flip": 1.0})
+        out = fuzzer.apply(self.REQS)
+        assert all(x != y for x, y in zip(out, self.REQS))
+        assert fuzzer.stats()["injected_total"] == len(self.REQS)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz strategy"):
+            RequestFuzzer(7, 0.5, weights={"explode": 1.0})
+
+    def test_length_field_patch(self):
+        field = LengthField(offset=2, width=2)
+        patched = field.patch(self.REQS[0], 0x1234)
+        assert patched[2:4] == (0x1234).to_bytes(2, "little")
+        assert patched[:2] == self.REQS[0][:2]
+        assert patched[4:] == self.REQS[0][4:]
+
+    def test_negative_length_needs_signed_field(self):
+        field = LengthField(offset=0, width=4, signed=True)
+        fuzzer = RequestFuzzer(7, 1.0, length_field=field,
+                               weights={"negative-length": 1.0})
+        out = fuzzer.apply([b"\x10\x00\x00\x00" + b"x" * 16])
+        value = int.from_bytes(out[0][:4], "little", signed=True)
+        assert value < 0
+
+    def test_oob_probe_uses_attack_factory(self):
+        fuzzer = RequestFuzzer(7, 1.0, attacks=(lambda: b"ATTACK",),
+                               weights={"oob-probe": 1.0})
+        assert fuzzer.apply(self.REQS)[0] == b"ATTACK"
+
+    def test_derive_is_stable_and_salted(self):
+        assert derive(1, "a") == derive(1, "a")
+        assert derive(1, "a") != derive(1, "b")
+        assert derive(1, "a") != derive(2, "a")
+
+
+class TestFaultInjector:
+    def test_tag_flip_changes_only_tag_bits(self):
+        inj = FaultInjector(3, tag_flip_rate=1.0)
+        ptr = (0x00000040 << 32) | 0x00000010
+        out = inj.corrupt_pointer(None, ptr)
+        assert out != ptr
+        assert out & 0xFFFFFFFF == 0x10      # address half untouched
+        assert inj.tag_flips == 1
+
+    def test_untagged_pointer_never_flipped(self):
+        inj = FaultInjector(3, tag_flip_rate=1.0)
+        assert inj.corrupt_pointer(None, 0x1234) == 0x1234
+
+    def test_epc_flush_spike(self):
+        epc = EPC(16 * 4096)
+        for page in range(8):
+            epc.touch(page)
+        assert epc.resident_pages == 8
+        flushed = epc.flush()
+        assert flushed == 8
+        assert epc.resident_pages == 0
+        assert epc.evictions == 8
+        # Re-touching refaults.
+        before = epc.faults
+        epc.touch(0)
+        assert epc.faults == before + 1
+
+
+class TestNetworkSimHardening:
+    def test_default_behaviour_unchanged(self):
+        net = NetworkSim()
+        conn = net.connect(b"one", b"two")
+        assert net.recv(conn, 64) == b"one"
+        net.send(conn, b"resp")
+        assert net.sent(conn) == [b"resp"]
+        assert net.pending(conn) == 1
+
+    def test_retry_requeues_with_backoff(self):
+        net = NetworkSim(retry_limit=2, backoff_cycles=100, seed=5)
+        conn = net.connect(b"bad")
+        raw = net.recv(conn, 64)
+        assert net.fail_request(conn, raw) is True     # retry 1
+        assert net.pending(conn) == 1
+        assert net.recv(conn, 64) == b"bad"
+        assert net.fail_request(conn, raw) is True     # retry 2
+        assert net.fail_request(conn, raw) is False    # exhausted
+        stats = net.stats()
+        assert stats["retries"] == 2
+        assert stats["failed"] == 1
+        assert stats["errors"] == 1
+        assert stats["backoff_cycles"] >= 300          # 100 + 200 + jitter
+
+    def test_error_marker_not_counted_as_response(self):
+        net = NetworkSim()
+        conn = net.connect(b"bad")
+        raw = net.recv(conn, 64)
+        assert net.fail_request(conn, raw) is False
+        assert net.sent(conn) == [ERROR_MARKER]
+        stats = net.stats()
+        assert stats["responses"] == 0
+        assert stats["availability"] == 0.0
+
+    def test_availability_accounting(self):
+        net = NetworkSim()
+        conn = net.connect(b"a", b"b", b"c", b"d")
+        for _ in range(3):
+            net.recv(conn, 64)
+            net.send(conn, b"ok")
+        assert net.stats()["availability"] == 0.75
+        assert net.unserved() == 1
+
+
+class TestChaosRuns:
+    def test_chaos_report_is_seed_deterministic(self):
+        _, a = chaos_availability(apps=("memcached",), size="XS", seed=42)
+        _, b = chaos_availability(apps=("memcached",), size="XS", seed=42)
+        assert a == b
+
+    def test_availability_ordering_memcached(self):
+        records = {}
+        for policy in ("abort", "drop-request", "boundless"):
+            r = run_chaos_server("memcached", policy=policy, fault_rate=0.2,
+                                 size="XS", seed=1234)
+            records[policy] = r.resilience["net"]["availability"]
+        assert records["drop-request"] > records["abort"]
+        assert records["boundless"] > records["abort"]
+
+    def test_drop_request_recovery_end_to_end(self):
+        r = run_chaos_server("memcached", policy="drop-request",
+                             fault_rate=0.2, size="XS", seed=1234)
+        assert r.ok
+        assert r.resilience["dropped_requests"] > 0
+        assert r.resilience["recovered_requests"] > 0
+        net = r.resilience["net"]
+        assert net["availability"] > 0.5
+        assert r.resilience["fuzzer"]["injected_total"] > 0
+
+    def test_zero_fault_rate_full_availability(self):
+        for policy in ("abort", "drop-request"):
+            r = run_chaos_server("memcached", policy=policy, fault_rate=0.0,
+                                 size="XS", seed=1234)
+            assert r.ok
+            assert r.resilience["net"]["availability"] == 1.0
+            assert r.resilience["dropped_requests"] == 0
+
+    def test_epc_spikes_fire_and_cost_cycles(self):
+        calm = run_chaos_server("memcached", policy="drop-request",
+                                fault_rate=0.0, size="XS", seed=1234,
+                                epc_spike_rate=0.0)
+        spiky = run_chaos_server("memcached", policy="drop-request",
+                                 fault_rate=0.0, size="XS", seed=1234,
+                                 epc_spike_rate=1.0)
+        assert spiky.resilience["faults"]["epc_spikes"] > 0
+        assert spiky.cycles > calm.cycles

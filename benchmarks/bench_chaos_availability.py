@@ -19,7 +19,7 @@ def test_chaos_availability(benchmark, save_result, bench_size):
         chaos_availability,
         kwargs=dict(fault_rates=(0.0, FAULT_RATE), size=bench_size),
         rounds=1, iterations=1)
-    save_result("chaos_availability", text)
+    save_result("chaos_availability", text, data=data)
 
     for app in ("memcached", "nginx"):
         per = data[app]

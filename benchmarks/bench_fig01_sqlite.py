@@ -13,7 +13,7 @@ from repro.harness import experiments
 def test_fig1_sqlite(benchmark, save_result):
     data, text = benchmark.pedantic(experiments.fig1_sqlite,
                                     rounds=1, iterations=1)
-    save_result("fig01_sqlite", text)
+    save_result("fig01_sqlite", text, data=data)
 
     largest_ok = None
     for size in ("XS", "S", "M", "L", "XL"):

@@ -17,7 +17,7 @@ def test_fig7_phoenix_parsec(benchmark, save_result, bench_size):
     data, text = benchmark.pedantic(
         experiments.fig7_phoenix_parsec, kwargs={"size": bench_size},
         rounds=1, iterations=1)
-    save_result("fig07_phoenix_parsec", text)
+    save_result("fig07_phoenix_parsec", text, data=data)
 
     perf, mem = data["perf"], data["mem"]
 

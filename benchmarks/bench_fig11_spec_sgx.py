@@ -13,7 +13,7 @@ def test_fig11_spec_sgx(benchmark, save_result, bench_size):
     data, text = benchmark.pedantic(
         experiments.fig11_spec_sgx, kwargs={"size": bench_size},
         rounds=1, iterations=1)
-    save_result("fig11_spec_sgx", text)
+    save_result("fig11_spec_sgx", text, data=data)
 
     perf, mem = data["perf"], data["mem"]
 

@@ -11,7 +11,7 @@ from repro.harness import experiments
 def test_fig13_case_studies(benchmark, save_result):
     data, text = benchmark.pedantic(experiments.fig13_case_studies,
                                     rounds=1, iterations=1)
-    save_result("fig13_case_studies", text)
+    save_result("fig13_case_studies", text, data=data)
 
     for app, per_scheme in data.items():
         native_tput, native_mem = per_scheme["native"]

@@ -26,8 +26,13 @@ def bench_size() -> str:
 
 @pytest.fixture
 def save_result():
-    def _save(name: str, text: str) -> None:
+    def _save(name: str, text: str, data=None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+        saved = f"benchmarks/results/{name}.txt"
+        if data is not None:
+            from repro.telemetry.results import emit_result
+            emit_result(name, data, directory=RESULTS_DIR)
+            saved += f" + {name}.json"
+        print(f"\n{text}\n[saved to {saved}]")
     return _save

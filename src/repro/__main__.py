@@ -6,6 +6,15 @@ Usage::
     python -m repro fig1 fig7 tab4
     python -m repro fig7 --size S
     python -m repro all
+    python -m repro profile fig07 --size XS --trace-out trace.json \\
+        --metrics-out metrics.json
+
+Any experiment accepts ``--trace-out``/``--metrics-out``: the run then
+executes with telemetry attached and exports a Chrome-loadable trace and
+a metrics-registry snapshot.  ``profile`` additionally computes the
+per-function scheme-vs-native overhead attribution (the paper's Table-3
+decomposition) and, with ``--results-out``, drops a machine-readable
+result into ``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -40,13 +49,55 @@ def _chaos(args):
                               size=args.size, seed=args.seed)
 
 
+def _profile(args) -> int:
+    """``python -m repro profile <target>...`` — overhead attribution."""
+    from repro.harness.profile import profile_experiment
+    from repro.telemetry import results as results_mod
+
+    targets = args.experiments[1:]
+    if not targets:
+        print("profile: expected at least one experiment id or workload "
+              "name (e.g. 'python -m repro profile fig07')",
+              file=sys.stderr)
+        return 2
+    for target in targets:
+        started = time.time()
+        try:
+            data, text = profile_experiment(target, size=args.size)
+        except KeyError as err:
+            print(f"profile: {err.args[0]}", file=sys.stderr)
+            return 2
+        print(text)
+        if args.trace_out:
+            results_mod.write_json(args.trace_out, data["trace"])
+            print(f"[trace -> {args.trace_out}]")
+        if args.metrics_out:
+            results_mod.write_json(
+                args.metrics_out,
+                results_mod.to_jsonable(
+                    {key: data[key] for key in
+                     ("experiment", "size", "schemes", "baseline",
+                      "metrics")}))
+            print(f"[metrics -> {args.metrics_out}]")
+        if args.results_out:
+            document = results_mod.result_document(
+                f"profile_{data['experiment']}_{data['size']}",
+                {key: data[key] for key in
+                 ("experiment", "size", "schemes", "baseline", "metrics")})
+            results_mod.write_json(args.results_out, document)
+            print(f"[results -> {args.results_out}]")
+        print(f"[profile {target}: {time.time() - started:.1f}s]\n")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the SGXBounds paper's tables and figures "
                     "on the simulated SGX substrate.")
     parser.add_argument("experiments", nargs="+",
-                        help="experiment ids (see 'list'), or 'all'")
+                        help="experiment ids (see 'list'), 'all', or "
+                             "'profile <id>' for overhead attribution")
     parser.add_argument("--size", default="XS",
                         help="workload size for sweeps (XS/S/M/L/XL)")
     parser.add_argument("--policy", default=None,
@@ -57,12 +108,30 @@ def main(argv=None) -> int:
                         help="request corruption probability for chaos")
     parser.add_argument("--seed", type=int, default=1234,
                         help="chaos run seed (fuzzer/scheduler/clients)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export a Chrome trace_event JSON of the run")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="export the metrics-registry snapshot (for "
+                             "'profile': the full attribution) as JSON")
+    parser.add_argument("--results-out", default=None, metavar="PATH",
+                        help="profile only: also write the versioned "
+                             "result document (benchmarks/results/*.json)")
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
         for name in EXPERIMENTS:
             print(f"  {name}")
+        print("  profile <experiment|workload>")
         return 0
+
+    if args.experiments[0] == "profile":
+        return _profile(args)
+
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from repro import telemetry as telemetry_mod
+        telemetry = telemetry_mod.Telemetry()
+        telemetry_mod.set_default(telemetry)
 
     wanted = list(EXPERIMENTS) if args.experiments == ["all"] \
         else args.experiments
@@ -75,6 +144,18 @@ def main(argv=None) -> int:
         _, text = runner(args)
         print(text)
         print(f"[{name}: {time.time() - started:.1f}s]\n")
+
+    if telemetry is not None:
+        from repro.telemetry import results as results_mod
+        from repro import telemetry as telemetry_mod
+        telemetry_mod.set_default(None)
+        if args.trace_out:
+            results_mod.write_json(args.trace_out, telemetry.chrome_trace())
+            print(f"[trace -> {args.trace_out}]")
+        if args.metrics_out:
+            results_mod.write_json(args.metrics_out,
+                                   telemetry.metrics_snapshot())
+            print(f"[metrics -> {args.metrics_out}]")
     return 0
 
 

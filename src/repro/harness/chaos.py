@@ -70,7 +70,8 @@ def run_chaos_server(app_name: str, scheme: str = "sgxbounds",
                      size: str = "XS", seed: int = 1234,
                      retry_limit: int = 1,
                      epc_spike_rate: Optional[float] = None,
-                     tag_flip_rate: float = 0.0) -> RunResult:
+                     tag_flip_rate: float = 0.0,
+                     telemetry=None) -> RunResult:
     """One chaos run: fuzzed workload + runtime faults + hardened clients.
 
     Every random component gets its own sub-seed derived from ``seed``, so
@@ -102,7 +103,8 @@ def run_chaos_server(app_name: str, scheme: str = "sgxbounds",
     result = run_server(mod.SOURCE, by_conn, scheme, count, threads=threads,
                         config=APP_CONFIG, name=app_name, policy=policy,
                         net=net, faults=faults,
-                        seed=derive(seed, f"sched:{app_name}"))
+                        seed=derive(seed, f"sched:{app_name}"),
+                        telemetry=telemetry)
     result.resilience["fuzzer"] = fuzzer.stats()
     return result
 
@@ -112,14 +114,17 @@ def chaos_availability(apps: Sequence[str] = ("memcached", "nginx", "apache"),
                        policies: Sequence[str] = ("abort", "drop-request",
                                                   "boundless"),
                        fault_rates: Sequence[float] = (0.0, 0.2),
-                       size: str = "XS", seed: int = 1234
-                       ) -> Tuple[Dict, str]:
+                       size: str = "XS", seed: int = 1234,
+                       telemetry=None) -> Tuple[Dict, str]:
     """Sweep fault rates x policies x schemes over the server apps.
 
     Returns ``(data, text)`` like the other experiment drivers:
     ``data[app][(scheme, policy, rate)]`` holds the availability record,
     ``text`` is the rendered report.
     """
+    from repro import telemetry as telemetry_mod
+    telemetry = telemetry if telemetry is not None \
+        else telemetry_mod.get_default()
     chunks: List[str] = []
     data: Dict[str, Dict] = {}
     exhibit: Optional[Dict] = None
@@ -131,7 +136,8 @@ def chaos_availability(apps: Sequence[str] = ("memcached", "nginx", "apache"),
                 for policy in policies:
                     r = run_chaos_server(app_name, scheme=scheme,
                                          policy=policy, fault_rate=rate,
-                                         size=size, seed=seed)
+                                         size=size, seed=seed,
+                                         telemetry=telemetry)
                     net_stats = r.resilience["net"]
                     availability = net_stats["availability"]
                     responses = net_stats["responses"]
@@ -150,6 +156,10 @@ def chaos_availability(apps: Sequence[str] = ("memcached", "nginx", "apache"),
                         "status": r.crashed or "ok",
                     }
                     data[app_name][(scheme, policy, rate)] = record
+                    if telemetry is not None and telemetry.enabled:
+                        telemetry.registry.gauge(
+                            f"chaos.{app_name}.{scheme}.{policy}"
+                            f".rate_{rate}.availability").set(availability)
                     rows.append([scheme, policy, rate, net_stats["pushed"],
                                  responses, availability, cycles_per,
                                  record["dropped"], record["retries"],

@@ -313,3 +313,21 @@ def fig13_case_studies(n: str = "S", clients: Sequence[int] = (1, 2, 4),
 def tab1_defenses() -> Tuple[Dict, str]:
     """Table 1: the defense-classification table (static)."""
     return {}, report.DEFENSE_TABLE
+
+
+# ---------------------------------------------------------------------------
+def profile_targets() -> Dict[str, Tuple[List[Workload], EnclaveConfig]]:
+    """Workload set + enclave config per profilable experiment id.
+
+    The telemetry profiler (``python -m repro profile <id>``) re-runs the
+    experiment's workloads under each scheme with per-function attribution
+    enabled; this mapping keeps its machine regimes identical to the
+    figures they explain.
+    """
+    return {
+        "fig1": ([_sqlite_workload()], FIG1_CONFIG),
+        "fig7": (by_suite("phoenix") + by_suite("parsec"), FIG7_CONFIG),
+        "fig8": ([get("kmeans"), get("matrix_multiply")], FIG8_CONFIG),
+        "fig11": (by_suite("spec"), SPEC_CONFIG),
+        "fig12": (by_suite("spec"), SPEC_CONFIG.outside_sgx()),
+    }

@@ -9,8 +9,10 @@ A run that dies with ``OutOfMemory`` is recorded as crashed — that is the
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import telemetry as telemetry_mod
 from repro.asan import ASanScheme
 from repro.baggy import BaggyScheme
 from repro.core import SGXBoundsScheme
@@ -81,8 +83,14 @@ def run_workload(workload: Workload, scheme_name: str,
                  size: Optional[str] = None, threads: Optional[int] = None,
                  config: Optional[EnclaveConfig] = None,
                  scheme_kwargs: Optional[Dict] = None,
-                 max_instructions: int = 500_000_000) -> RunResult:
-    """Run one registered suite workload under one scheme."""
+                 max_instructions: int = 500_000_000,
+                 telemetry=None) -> RunResult:
+    """Run one registered suite workload under one scheme.
+
+    ``telemetry`` attaches a :class:`repro.telemetry.Telemetry`; when
+    omitted, the process-wide default (set by CLI ``--trace-out`` /
+    ``--metrics-out`` flags) applies, which is normally None.
+    """
     size = size or workload.default_size
     args = workload.args_for(size, threads)
     result = RunResult(workload.name, scheme_name, size, args[1])
@@ -91,8 +99,12 @@ def run_workload(workload: Workload, scheme_name: str,
     module = scheme.instrument(module) if scheme else module.clone()
     module.finalize()
     enclave = Enclave(config) if config is not None else Enclave()
+    telemetry = telemetry if telemetry is not None \
+        else telemetry_mod.get_default()
     vm = VM(enclave=enclave, scheme=scheme,
-            max_instructions=max_instructions)
+            max_instructions=max_instructions, telemetry=telemetry)
+    if vm.telemetry is not None:
+        vm.telemetry.label_run(f"{workload.name}/{scheme_name}/{size}")
     try:
         vm.load(module)
         result.result = vm.run("main", args)
@@ -109,7 +121,7 @@ def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
                scheme_kwargs: Optional[Dict] = None,
                name: str = "server", policy: Optional[str] = None,
                net: Optional[NetworkSim] = None, faults=None,
-               seed: Optional[int] = None) -> RunResult:
+               seed: Optional[int] = None, telemetry=None) -> RunResult:
     """Run a network server app: requests pre-queued per connection.
 
     ``policy`` selects the violation policy for protected schemes;
@@ -127,9 +139,14 @@ def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
     module = scheme.instrument(module) if scheme else module.clone()
     module.finalize()
     enclave = Enclave(config) if config is not None else Enclave()
-    vm = VM(enclave=enclave, scheme=scheme, seed=seed)
+    telemetry = telemetry if telemetry is not None \
+        else telemetry_mod.get_default()
+    vm = VM(enclave=enclave, scheme=scheme, seed=seed, telemetry=telemetry)
     vm.net = net if net is not None else NetworkSim()
     vm.faults = faults
+    if vm.telemetry is not None:
+        vm.telemetry.label_run(f"{name}/{scheme_name}")
+        vm.net.telemetry = vm.telemetry
     for conn_requests in requests_by_conn:
         vm.net.connect(*conn_requests)
     try:
@@ -178,8 +195,16 @@ def overhead(results: Sequence[RunResult], metric: str = "cycles",
     """overhead[workload][scheme] = metric ratio vs the baseline scheme.
 
     Crashed runs map to None (the paper's missing bars); verifies that
-    instrumented runs computed the same result as the baseline.
+    instrumented runs computed the same result as the baseline.  Edge
+    cases degrade with a warning instead of raising: an empty result
+    sequence yields an empty table, and a zero-valued baseline metric
+    yields ``float('nan')`` cells (a ratio against nothing is undefined,
+    not a crash).
     """
+    if not results:
+        warnings.warn("overhead(): empty result sequence, returning an "
+                      "empty table", stacklevel=2)
+        return {}
     by_cell: Dict[str, Dict[str, RunResult]] = {}
     for r in results:
         by_cell.setdefault(f"{r.workload}:{r.size}:{r.threads}", {})[r.scheme] = r
@@ -201,15 +226,28 @@ def overhead(results: Sequence[RunResult], metric: str = "cycles",
                 else base.peak_reserved
             value = getattr(r, metric) if metric != "peak_reserved" \
                 else r.peak_reserved
-            row[scheme_name] = value / base_value if base_value else None
+            if not base_value:
+                warnings.warn(
+                    f"overhead(): {cell} has a zero-{metric} baseline; "
+                    f"ratio is undefined (nan)", stacklevel=2)
+                row[scheme_name] = float("nan")
+            else:
+                row[scheme_name] = value / base_value
         table[cell.split(":")[0]] = row
     return table
 
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean, the paper's cross-benchmark aggregate."""
-    clean = [v for v in values if v is not None and v > 0]
+    """Geometric mean, the paper's cross-benchmark aggregate.
+
+    None, NaN and non-positive entries are skipped (crashed bars and
+    undefined ratios); with nothing left the mean itself is ``nan``,
+    reported with a warning instead of a ZeroDivision/Statistics error.
+    """
+    clean = [v for v in values if v is not None and v > 0 and v == v]
     if not clean:
+        warnings.warn("geomean(): no positive finite values to aggregate; "
+                      "returning nan", stacklevel=2)
         return float("nan")
     product = 1.0
     for v in clean:

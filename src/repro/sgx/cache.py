@@ -28,7 +28,12 @@ class Cache:
         lines = max(associativity, size_bytes // LINE_SIZE)
         self.sets = max(1, lines // associativity)
         self.associativity = associativity
+        self.flushes = 0
         self._data: Dict[int, List[int]] = {}
+
+    def occupied_lines(self) -> int:
+        """Lines currently resident (for end-of-run telemetry)."""
+        return sum(len(ways) for ways in self._data.values())
 
     def access(self, line: int) -> bool:
         """Touch ``line``; returns True on hit."""
@@ -48,6 +53,7 @@ class Cache:
             return False
 
     def flush(self) -> None:
+        self.flushes += 1
         self._data.clear()
 
 
@@ -91,3 +97,13 @@ class CacheHierarchy:
     def flush(self) -> None:
         self.l1.flush()
         self.llc.flush()
+
+    def stats(self) -> Dict[str, int]:
+        """End-of-run occupancy/flush figures the telemetry registry
+        publishes as gauges (miss counts live in PerfCounters)."""
+        return {
+            "l1_occupied_lines": self.l1.occupied_lines(),
+            "llc_occupied_lines": self.llc.occupied_lines(),
+            "l1_flushes": self.l1.flushes,
+            "llc_flushes": self.llc.flushes,
+        }

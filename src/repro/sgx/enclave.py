@@ -63,9 +63,19 @@ class Enclave:
         self.caches = CacheHierarchy(self.config.l1_bytes, self.config.llc_bytes)
         self.epc = EPC(self.config.epc_bytes) if self.config.enclave else None
         self.counters = PerfCounters()
+        #: Observability hook; installed via :meth:`attach_telemetry` so
+        #: the default trace path stays telemetry-free.
+        self.telemetry = None
         # The unaddressable last page (paper §4.4) protects hoisted checks.
         self.space.map(GUARD_PAGE_BASE, PAGE_SIZE, PERM_GUARD, "guard")
         self.space.tracer = self._trace
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Swap in the telemetry-aware trace hook (EPC-fault events)."""
+        self.telemetry = telemetry
+        self.space.tracer = self._trace_telemetry
+        if self.epc is not None:
+            self.epc.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def _trace(self, address: int, size: int, is_write: bool) -> None:
@@ -80,6 +90,24 @@ class Enclave:
             if self.epc.touch(address >> PAGE_SHIFT):
                 counters.epc_faults += 1
 
+    def _trace_telemetry(self, address: int, size: int,
+                         is_write: bool) -> None:
+        """The same accounting as :meth:`_trace`, plus fault telemetry.
+        Charges identical counters — telemetry only observes."""
+        counters = self.counters
+        if is_write:
+            counters.stores += 1
+        else:
+            counters.loads += 1
+        depth = self.caches.access(address, size, counters)
+        if depth == 2 and self.epc is not None:
+            counters.mee_decrypts += 1
+            if self.epc.touch(address >> PAGE_SHIFT):
+                counters.epc_faults += 1
+                self.telemetry.epc_fault(address >> PAGE_SHIFT,
+                                         counters.instructions,
+                                         self.epc.resident_pages)
+
     # ------------------------------------------------------------------
     def cycles(self) -> int:
         """Total cycles implied by the counters under this cost model."""
@@ -88,6 +116,16 @@ class Enclave:
     def finalize(self) -> PerfCounters:
         """Freeze the cycle total into the counters and return them."""
         self.counters.cycles = self.cycles()
+        if self.telemetry is not None:
+            self.telemetry.collect_counters(self.counters.snapshot())
+            registry = self.telemetry.registry
+            for name, value in self.caches.stats().items():
+                registry.gauge(f"cache.{name}").set(value)
+            if self.epc is not None:
+                registry.gauge("epc.peak_resident").set(
+                    self.epc.peak_resident)
+                registry.gauge("epc.pages_touched").set(
+                    len(self.epc.pages_touched))
         return self.counters
 
     def memory_report(self) -> Dict[str, int]:

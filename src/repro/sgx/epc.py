@@ -26,6 +26,10 @@ class EPC:
         self.evictions = 0
         self.pages_touched: set = set()
         self.peak_resident = 0
+        #: Optional ``repro.telemetry.Telemetry`` observing flush events
+        #: (fault events are published by the enclave's trace hook, which
+        #: owns the instruction clock).
+        self.telemetry = None
 
     def touch(self, page: int) -> bool:
         """Mark ``page`` accessed from memory; returns True if it faulted."""
@@ -56,6 +60,8 @@ class EPC:
         evicted = len(self._resident)
         self._resident.clear()
         self.evictions += evicted
+        if self.telemetry is not None:
+            self.telemetry.epc_flush(evicted)
         return evicted
 
     def reset(self) -> None:

@@ -1,0 +1,166 @@
+"""Metrics primitives: counters, gauges, histograms and their registry.
+
+The registry is the pull side of the telemetry subsystem: components
+(the VM, scheme runtimes, the EPC/cache model, NetworkSim, the chaos
+harness) publish named metrics into it while a run executes, and the
+harness snapshots the whole registry into machine-readable JSON at the
+end.  Everything is deterministic: histogram bucket boundaries are fixed
+at creation time and all values derive from simulated events, never wall
+clocks — two identical seeded runs produce byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+def exponential_bounds(start: int = 1, factor: int = 2,
+                       count: int = 24) -> Tuple[int, ...]:
+    """Deterministic geometric bucket boundaries: start * factor**i.
+
+    The default (1, 2, 4, ..., 2**23) covers everything from single
+    instructions to multi-million-cycle requests.
+    """
+    if start <= 0 or factor <= 1 or count <= 0:
+        raise ValueError("exponential_bounds needs start>0, factor>1, count>0")
+    bounds: List[int] = []
+    value = start
+    for _ in range(count):
+        bounds.append(value)
+        value *= factor
+    return tuple(bounds)
+
+
+#: Default boundaries shared by every histogram that does not pick its own.
+DEFAULT_BOUNDS = exponential_bounds()
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-observed value (e.g. resident pages, metadata bytes)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram.
+
+    ``bounds`` are ascending upper-inclusive bucket edges; observations
+    land in the first bucket whose edge is >= the value, with one
+    overflow bucket past the last edge.  Bucket ``i`` therefore counts
+    values ``v`` with ``bounds[i-1] < v <= bounds[i]``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Optional[Sequence[int]] = None):
+        edges = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError(f"histogram {name!r}: bounds must be strictly "
+                             f"ascending and non-empty")
+        self.name = name
+        self.bounds = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        # First edge >= value, i.e. buckets are upper-inclusive; values
+        # past the last edge land in the overflow bucket.
+        index = bisect_left(self.bounds, value)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+
+    def percentile_bucket(self, q: float) -> Union[int, float]:
+        """Upper edge of the bucket holding the q-quantile (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) \
+                    else float("inf")
+        return float("inf")
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics; names are globally unique."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, factory, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory(name, *args)
+        elif not isinstance(metric, factory):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[int]] = None) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Histogram(name, bounds)
+        elif not isinstance(metric, Histogram):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Name-sorted plain-dict dump of every metric."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}

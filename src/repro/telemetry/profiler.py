@@ -1,0 +1,177 @@
+"""Per-function counter attribution and scheme-vs-native overhead diffs.
+
+This is the Table-3 machinery: the paper explains each scheme's slowdown
+as *extra instructions* (the checks themselves), *extra cache misses*
+(metadata traffic breaking locality) and *EPC page faults* (metadata
+blowing the enclave page cache).  :class:`FunctionProfile` accumulates a
+flat per-function profile of the raw events while the VM runs;
+:func:`attribute_overhead` then diffs an instrumented run against its
+native baseline and prices each delta with the run's cost model, giving
+a per-function and per-run cycle decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sgx.counters import CostModel, PerfCounters
+
+#: Events attributed per function (a subset of PerfCounters: the ones the
+#: paper's analysis decomposes overheads into).
+ATTRIB_FIELDS: Tuple[str, ...] = (
+    "instructions", "branches", "calls", "loads", "stores",
+    "l1_accesses", "l1_misses", "llc_misses", "epc_faults",
+    "mee_decrypts", "bounds_checks",
+)
+
+_N_FIELDS = len(ATTRIB_FIELDS)
+
+
+class FunctionProfile:
+    """Flat (self-time) per-function accumulation of counter deltas.
+
+    The VM calls :meth:`begin` when it starts executing a segment of a
+    function and :meth:`end` when the segment finishes (call, return,
+    quantum expiry); the delta between the two counter snapshots is
+    credited to that function.  Work natives perform on a function's
+    behalf lands in the calling function, matching how a sampling
+    profiler attributes wrapper time.
+    """
+
+    __slots__ = ("_acc", "calls")
+
+    def __init__(self) -> None:
+        self._acc: Dict[str, list] = {}
+        self.calls: Dict[str, int] = {}
+
+    def enter(self, name: str) -> None:
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def begin(self, counters: PerfCounters) -> tuple:
+        return (counters.instructions, counters.branches, counters.calls,
+                counters.loads, counters.stores, counters.l1_accesses,
+                counters.l1_misses, counters.llc_misses,
+                counters.epc_faults, counters.mee_decrypts,
+                counters.bounds_checks)
+
+    def end(self, name: str, counters: PerfCounters, snap: tuple) -> None:
+        acc = self._acc.get(name)
+        if acc is None:
+            acc = self._acc[name] = [0] * _N_FIELDS
+        now = self.begin(counters)
+        for i in range(_N_FIELDS):
+            acc[i] += now[i] - snap[i]
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        out: Dict[str, Dict[str, int]] = {}
+        for name in sorted(self._acc):
+            acc = self._acc[name]
+            row = dict(zip(ATTRIB_FIELDS, acc))
+            row["calls_entered"] = self.calls.get(name, 0)
+            out[name] = row
+        return out
+
+
+# ---------------------------------------------------------------------------
+def function_cycles(row: Dict[str, int], cost: CostModel,
+                    enclave: bool = True) -> int:
+    """Cycles implied by one function's counter row under ``cost``."""
+    counters = PerfCounters()
+    for field in ATTRIB_FIELDS:
+        setattr(counters, field, row.get(field, 0))
+    return cost.cycles_for(counters, enclave)
+
+
+def _decompose(delta: Dict[str, int], cost: CostModel,
+               enclave: bool) -> Dict[str, int]:
+    """Price a counter delta into the paper's three overhead buckets."""
+    d_l1_hits = ((delta["l1_accesses"] - delta["l1_misses"]))
+    d_llc_hits = delta["l1_misses"] - delta["llc_misses"]
+    check_cycles = (delta["instructions"] * cost.instruction
+                    + delta["branches"] * cost.branch)
+    cache_cycles = (d_l1_hits * cost.l1_hit
+                    + d_llc_hits * cost.llc_hit
+                    + delta["llc_misses"] * cost.dram)
+    if enclave:
+        cache_cycles += delta["llc_misses"] * cost.mee_decrypt
+    epc_cycles = delta["epc_faults"] * cost.epc_fault
+    return {
+        "check_cycles": check_cycles,
+        "cache_cycles": cache_cycles,
+        "epc_fault_cycles": epc_cycles,
+        "total_cycles": check_cycles + cache_cycles + epc_cycles,
+    }
+
+
+def _shares(breakdown: Dict[str, int]) -> Dict[str, float]:
+    total = breakdown["total_cycles"]
+    if total == 0:
+        return {"check": 0.0, "cache": 0.0, "epc_fault": 0.0}
+    return {
+        "check": breakdown["check_cycles"] / total,
+        "cache": breakdown["cache_cycles"] / total,
+        "epc_fault": breakdown["epc_fault_cycles"] / total,
+    }
+
+
+def attribute_overhead(scheme_profile: Dict[str, Dict[str, int]],
+                       native_profile: Dict[str, Dict[str, int]],
+                       cost: Optional[CostModel] = None,
+                       enclave: bool = True) -> Dict[str, object]:
+    """Diff two per-function profiles into a Table-3-style breakdown.
+
+    Returns ``{"functions": {name: {...}}, "totals": {...},
+    "shares": {...}}`` where every function row carries the raw counter
+    deltas plus the priced check/cache/EPC-fault cycle split.  Functions
+    only present on one side still contribute (missing side counts as
+    zero, which is what a crashed or never-reached function should
+    report).
+    """
+    cost = cost or CostModel()
+    functions: Dict[str, Dict[str, object]] = {}
+    totals = {"check_cycles": 0, "cache_cycles": 0,
+              "epc_fault_cycles": 0, "total_cycles": 0}
+    names = sorted(set(scheme_profile) | set(native_profile))
+    for name in names:
+        sc = scheme_profile.get(name, {})
+        na = native_profile.get(name, {})
+        delta = {field: sc.get(field, 0) - na.get(field, 0)
+                 for field in ATTRIB_FIELDS}
+        breakdown = _decompose(delta, cost, enclave)
+        for key in totals:
+            totals[key] += breakdown[key]
+        functions[name] = {
+            "delta": delta,
+            "bounds_checks": sc.get("bounds_checks", 0),
+            **breakdown,
+            "shares": _shares(breakdown),
+        }
+    return {
+        "functions": functions,
+        "totals": totals,
+        "shares": _shares(totals),
+    }
+
+
+def flame_rows(profile: Dict[str, Dict[str, int]],
+               cost: Optional[CostModel] = None,
+               enclave: bool = True,
+               limit: Optional[int] = None
+               ) -> Sequence[Sequence[object]]:
+    """Rows for a compact text flame table, hottest function first."""
+    cost = cost or CostModel()
+    rows = []
+    total = sum(row.get("instructions", 0) for row in profile.values()) or 1
+    for name, row in profile.items():
+        rows.append([
+            name,
+            row.get("calls_entered", 0),
+            row.get("instructions", 0),
+            100.0 * row.get("instructions", 0) / total,
+            function_cycles(row, cost, enclave),
+            row.get("bounds_checks", 0),
+            row.get("llc_misses", 0),
+            row.get("epc_faults", 0),
+        ])
+    rows.sort(key=lambda r: (-r[2], r[0]))
+    return rows[:limit] if limit is not None else rows

@@ -1,0 +1,92 @@
+"""Machine-readable results emission for the perf trajectory.
+
+``benchmarks/results/*.txt`` holds the human-readable paper tables; this
+module adds the JSON twin so overheads can be tracked across PRs by
+tooling instead of eyeballs.  Everything funnels through
+:func:`to_jsonable`, which flattens the harness's result objects (tuple
+keys, ``RunResult``, NaN) into strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Dict, Optional
+
+#: Default sink, matching the .txt reports.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] \
+    / "benchmarks" / "results"
+
+#: Emitted-format version; bump on breaking layout changes.
+SCHEMA_VERSION = 1
+
+
+def to_jsonable(obj):
+    """Recursively convert harness objects into strict-JSON values.
+
+    * dict keys become strings (tuples joined with ``/``),
+    * NaN/inf floats become None (strict JSON has no NaN),
+    * sets become sorted lists, bytes decode as latin-1,
+    * objects with an ``as_dict``/``snapshot`` method use it; other
+      objects fall back to their public ``__dict__``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if isinstance(key, tuple):
+                key = "/".join(str(k) for k in key)
+            out[str(key)] = to_jsonable(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(v) for v in obj)
+    if isinstance(obj, bytes):
+        return obj.decode("latin-1")
+    for method in ("as_dict", "snapshot", "stats"):
+        fn = getattr(obj, method, None)
+        if callable(fn):
+            try:
+                return to_jsonable(fn())
+            except TypeError:
+                continue
+    public = {k: v for k, v in getattr(obj, "__dict__", {}).items()
+              if not k.startswith("_")}
+    if public:
+        return to_jsonable(public)
+    return repr(obj)
+
+
+def result_document(name: str, payload, meta: Optional[Dict] = None) -> Dict:
+    """Wrap ``payload`` in the versioned result envelope."""
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "data": to_jsonable(payload),
+    }
+    if meta:
+        doc["meta"] = to_jsonable(meta)
+    return doc
+
+
+def emit_result(name: str, payload, meta: Optional[Dict] = None,
+                directory: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Write ``benchmarks/results/<name>.json``; returns the path."""
+    directory = pathlib.Path(directory) if directory else RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    write_json(path, result_document(name, payload, meta))
+    return path
+
+
+def write_json(path, document) -> None:
+    """Deterministic strict-JSON dump (sorted keys, no NaN)."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")

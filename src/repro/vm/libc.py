@@ -222,6 +222,9 @@ def _net_recv(vm, thread, args):
     d_addr, d_ok = _range(vm, buf, len(data), True, 1)
     vm.bulk_write(d_addr, data[:d_ok])
     vm.charge(len(data) // 8)
+    if vm.telemetry is not None:
+        vm.telemetry.request_boundary(thread.tid, vm.counters.instructions,
+                                      conn, len(data))
     if vm.scheme.policy == violation_policy.DROP_REQUEST:
         # Ask the VM to checkpoint this thread at the CALL boundary; a
         # violation while handling this request then rolls back here.

@@ -244,11 +244,19 @@ class VM:
                  quantum: int = 200,
                  max_instructions: int = 2_000_000_000,
                  stack_size: int = DEFAULT_STACK_SIZE,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 telemetry=None):
         self.enclave = enclave or Enclave()
         self.space = self.enclave.space
         self.counters = self.enclave.counters
         self.scheme = scheme or SchemeRuntime()
+        #: Observability hook (``repro.telemetry.Telemetry``).  None — the
+        #: default — keeps every hot path telemetry-free; a disabled
+        #: Telemetry object is normalized to None for the same reason.
+        self.telemetry = telemetry \
+            if (telemetry is not None and telemetry.enabled) else None
+        if self.telemetry is not None:
+            self.telemetry.attach_vm(self)
         self.quantum = quantum
         self.max_instructions = max_instructions
         self.stack_size = stack_size
@@ -327,6 +335,9 @@ class VM:
             frame.bounds.update(arg_bounds)
         thread.sp = new_sp
         thread.frames.append(frame)
+        if self.telemetry is not None:
+            self.telemetry.function_enter(fn.name, thread.tid,
+                                          self.counters.instructions)
         return frame
 
     # ------------------------------------------------------------------
@@ -456,6 +467,10 @@ class VM:
         self.charge(RECOVERY_COST)
         self.dropped_requests += 1
         self.recovered_requests += 1
+        if self.telemetry is not None:
+            self.telemetry.request_dropped(thread.tid,
+                                           self.counters.instructions,
+                                           len(thread.frames))
         net = getattr(self, "net", None)
         if net is not None and hasattr(net, "fail_request"):
             net.fail_request(ckpt.conn, ckpt.request)
@@ -476,6 +491,7 @@ class VM:
         binops = _BIN
         program = self.program
         natives = self.natives
+        telem = self.telemetry
 
         self._executed += quantum   # upper bound; cheap budget check
         if self._executed > self.max_instructions:
@@ -490,6 +506,8 @@ class VM:
             regs = frame.regs
             pc = frame.pc
             switch = False
+            if telem is not None:
+                seg_snap = telem.functions.begin(counters)
             while quantum > 0:
                 ins = code[pc]
                 op = ins.op
@@ -603,7 +621,13 @@ class VM:
                                 self.native_arg_bounds = [
                                     frame.bounds.get(x) if x >= 0 else None
                                     for x in args]
-                            result = native(self, thread, values)
+                            if telem is None:
+                                result = native(self, thread, values)
+                            else:
+                                t0 = counters.instructions
+                                result = native(self, thread, values)
+                                telem.native_call(name, thread.tid, t0,
+                                                  counters.instructions)
                             if result is BLOCK_RETRY:
                                 frame.pc = pc   # re-execute the call on wake
                                 switch = True
@@ -661,6 +685,9 @@ class VM:
                     if frame.bounds is not None and a is not None and a >= 0:
                         ret_bounds = frame.bounds.get(a)
                     thread.frames.pop()
+                    if telem is not None:
+                        telem.function_exit(frame.fn.name, thread.tid,
+                                            counters.instructions)
                     thread.sp = frame.base + frame.fn.frame_size
                     if not thread.frames:
                         self._finish_thread(thread, value)
@@ -825,6 +852,8 @@ class VM:
 
                 raise VMError(f"unhandled opcode {op} ({ops.OP_NAMES.get(op)})")
 
+            if telem is not None:
+                telem.functions.end(frame.fn.name, counters, seg_snap)
             if not switch:
                 frame.pc = pc
         self.current = None

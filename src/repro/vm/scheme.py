@@ -61,10 +61,17 @@ class SchemeRuntime:
         """
         self.violations += 1
         err.policy = self.policy
-        if not err.function and vm is not None:
+        tid = 0
+        if vm is not None:
             thread = getattr(vm, "current", None)
-            if thread is not None and thread.frames:
-                err.function = thread.frames[-1].fn.name
+            if thread is not None:
+                tid = thread.tid
+                if not err.function and thread.frames:
+                    err.function = thread.frames[-1].fn.name
+            telemetry = getattr(vm, "telemetry", None)
+            if telemetry is not None:
+                telemetry.violation(self.name, err,
+                                    vm.counters.instructions, tid)
         if self.policy == violation_policy.ABORT:
             err.outcome = "aborted"
             self._record_violation(err)

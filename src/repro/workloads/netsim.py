@@ -66,6 +66,9 @@ class NetworkSim:
         self._rng = random.Random(seed) if seed is not None else None
         self.conn_stats: Dict[int, ConnStats] = {}
         self._attempts: Dict[tuple, int] = {}
+        #: Optional ``repro.telemetry.Telemetry``; when attached, delivery
+        #: events are published into its metrics registry.
+        self.telemetry = None
 
     def _stats(self, conn: int) -> ConnStats:
         stats = self.conn_stats.get(conn)
@@ -99,11 +102,18 @@ class NetworkSim:
             queue.appendleft(rest)
             return head
         self._stats(conn).delivered += 1
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("net.delivered").inc()
         return message
 
     def send(self, conn: int, data: bytes) -> None:
         self._outgoing.setdefault(conn, []).append(data)
         self._stats(conn).responses += 1
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            registry.counter("net.responses").inc()
+            registry.histogram("net.response_bytes").observe(
+                max(1, len(data)))
 
     def fail_request(self, conn: int, raw: bytes) -> bool:
         """The server dropped ``raw`` mid-flight (drop-request recovery).
@@ -117,6 +127,8 @@ class NetworkSim:
         if attempt < self.retry_limit:
             self._attempts[key] = attempt + 1
             stats.retries += 1
+            if self.telemetry is not None:
+                self.telemetry.registry.counter("net.retries").inc()
             backoff = self.backoff_cycles << attempt
             if self._rng is not None:
                 backoff += self._rng.randrange(0, self.backoff_cycles // 4 + 1)
@@ -126,6 +138,8 @@ class NetworkSim:
         self._attempts.pop(key, None)
         stats.failed += 1
         stats.errors += 1
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("net.request_errors").inc()
         # Surface the failure to the client without counting it as a
         # served response.
         self._outgoing.setdefault(conn, []).append(ERROR_MARKER)

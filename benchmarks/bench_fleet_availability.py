@@ -1,0 +1,51 @@
+"""Fleet availability: violation policies x enclave restart cost.
+
+Not a paper figure — this takes §6.4's availability argument to fleet
+scale.  A supervised fleet of enclave workers serves poisoned traffic
+behind a load balancer; fail-stop (``abort``) pays an enclave cold start
+(rebuild + re-attestation + EPC re-warm) for every detected violation,
+while requests queue behind the hole until the client deadline expires.
+Expected shape: ``abort`` availability < ``drop-request`` <=
+``boundless``, and the abort gap widens as the EPC re-warm multiplier
+(the working-set-size knob) grows.
+"""
+
+from repro.harness.experiments import fleet_availability
+
+FAULT_RATE = 0.2
+REWARM_SCALES = (1.0, 8.0)
+
+
+def test_fleet_availability(benchmark, save_result, bench_size):
+    data, text = benchmark.pedantic(
+        fleet_availability,
+        kwargs=dict(fault_rate=FAULT_RATE, size=bench_size,
+                    rewarm_scales=REWARM_SCALES),
+        rounds=1, iterations=1)
+    json_data = {f"{policy}@rewarm={scale}": record
+                 for (policy, scale), record in data.items()}
+    save_result("fleet_availability", text, data=json_data)
+
+    for scale in REWARM_SCALES:
+        abort = data[("abort", scale)]["slo"]
+        drop = data[("drop-request", scale)]["slo"]
+        boundless = data[("boundless", scale)]["slo"]
+        # The paper's ordering, at fleet scale.
+        assert abort["availability"] < drop["availability"], \
+            f"rewarm {scale}: abort did not lose to drop-request"
+        assert drop["availability"] <= boundless["availability"], \
+            f"rewarm {scale}: drop-request beat boundless"
+        # Fail-stop actually crashed and paid restarts; the tolerant
+        # policies never lost a worker.
+        assert data[("abort", scale)]["crashes"] > 0
+        assert data[("abort", scale)]["supervisor"]["restart_cycles"] > 0
+        assert data[("drop-request", scale)]["crashes"] == 0
+        assert data[("boundless", scale)]["crashes"] == 0
+
+    # The abort availability gap widens with restart cost: throwing away
+    # a bigger working set costs more ticks of downtime per crash.
+    cheap = data[("abort", REWARM_SCALES[0])]["slo"]["availability"]
+    dear = data[("abort", REWARM_SCALES[-1])]["slo"]["availability"]
+    assert dear < cheap, (
+        f"abort availability should fall as restart cost rises "
+        f"({cheap} -> {dear})")

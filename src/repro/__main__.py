@@ -37,7 +37,12 @@ EXPERIMENTS = {
     "fig12": lambda args: exp.fig12_spec_native(size=args.size),
     "fig13": lambda args: exp.fig13_case_studies(),
     "chaos": lambda args: _chaos(args),
+    "fleet": lambda args: _fleet(args),
 }
+
+#: Experiments whose stdout must be byte-identical across runs (CI diffs
+#: them); their wall-clock timing line goes to stderr instead.
+_STDERR_TIMING = {"fleet"}
 
 
 def _chaos(args):
@@ -47,6 +52,17 @@ def _chaos(args):
     return chaos_availability(policies=policies,
                               fault_rates=(0.0, args.fault_rate),
                               size=args.size, seed=args.seed)
+
+
+def _fleet(args):
+    policies = ([args.policy] if args.policy
+                else ["abort", "drop-request", "boundless"])
+    return exp.fleet_availability(app=args.app, workers=args.workers,
+                                  fault_rate=args.fault_rate,
+                                  seed=args.seed, size=args.size,
+                                  policies=policies,
+                                  rewarm_scales=args.rewarm_scales,
+                                  balance=args.balance)
 
 
 def _profile(args) -> int:
@@ -108,6 +124,17 @@ def main(argv=None) -> int:
                         help="request corruption probability for chaos")
     parser.add_argument("--seed", type=int, default=1234,
                         help="chaos run seed (fuzzer/scheduler/clients)")
+    parser.add_argument("--app", default="memcached",
+                        help="fleet: server app (memcached/nginx/apache)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="fleet: number of enclave workers")
+    parser.add_argument("--balance", default="round-robin",
+                        help="fleet: dispatch policy (round-robin/"
+                             "least-outstanding)")
+    parser.add_argument("--rewarm-scales", type=float, nargs="+",
+                        default=(1.0, 8.0), metavar="SCALE",
+                        help="fleet: EPC re-warm multipliers to sweep "
+                             "(restart cost knob)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="export a Chrome trace_event JSON of the run")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -143,7 +170,11 @@ def main(argv=None) -> int:
         started = time.time()
         _, text = runner(args)
         print(text)
-        print(f"[{name}: {time.time() - started:.1f}s]\n")
+        timing = f"[{name}: {time.time() - started:.1f}s]\n"
+        if name in _STDERR_TIMING:
+            print(timing, file=sys.stderr)
+        else:
+            print(timing)
 
     if telemetry is not None:
         from repro.telemetry import results as results_mod

@@ -116,6 +116,24 @@ class OutOfMemory(ReproError):
         super().__init__(f"out of memory requesting {requested} bytes{detail}")
 
 
+class WatchdogTimeout(ReproError):
+    """A supervised worker exceeded its per-request instruction budget.
+
+    Raised by the fleet watchdog (:mod:`repro.fleet`) when an enclave
+    worker burns through its instruction budget without completing the
+    in-flight request — the simulation's analog of a stuck/livelocked
+    enclave that the supervisor must kill and restart.
+    """
+
+    def __init__(self, budget: int, spent: int, request_id: int = -1):
+        self.budget = budget
+        self.spent = spent
+        self.request_id = request_id
+        super().__init__(
+            f"watchdog timeout: {spent} instructions spent on one request "
+            f"(budget {budget})")
+
+
 class EnclaveCrash(ReproError):
     """The shielded application terminated abnormally (fail-stop semantics)."""
 

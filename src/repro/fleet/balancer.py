@@ -1,0 +1,301 @@
+"""Deterministic load balancer: dispatch, circuit breakers, retries.
+
+Everything here runs on the campaign's tick clock with no randomness at
+all — worker iteration order is worker-id order, round-robin keeps an
+explicit cursor — so two campaigns with the same seed produce identical
+dispatch sequences regardless of host hashing or timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.fleet.supervisor import Supervisor
+
+ROUND_ROBIN = "round-robin"
+LEAST_OUTSTANDING = "least-outstanding"
+POLICIES = (ROUND_ROBIN, LEAST_OUTSTANDING)
+
+# Circuit breaker states
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class Request:
+    """One client request moving through the fleet."""
+
+    __slots__ = ("rid", "payload", "arrival", "attempts", "status",
+                 "completed_at", "worker", "detail")
+
+    def __init__(self, rid: int, payload: bytes, arrival: int):
+        self.rid = rid
+        self.payload = payload
+        self.arrival = arrival
+        self.attempts = 0
+        self.status: Optional[str] = None    # served | error | failed
+        self.completed_at: Optional[int] = None
+        self.worker: Optional[int] = None
+        self.detail = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.status is not None
+
+
+class CircuitBreaker:
+    """closed → open after N consecutive failures; cooldown in ticks;
+    half-open admits a single probe that decides reopen vs close."""
+
+    __slots__ = ("threshold", "cooldown", "state", "failures", "open_until",
+                 "probing", "opens")
+
+    def __init__(self, threshold: int = 3, cooldown: int = 25):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.failures = 0
+        self.open_until = 0
+        self.probing = False
+        self.opens = 0
+
+    def allow(self, now: int) -> bool:
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now < self.open_until:
+                return False
+            self.state = HALF_OPEN
+            self.probing = False
+        # HALF_OPEN: admit exactly one in-flight probe.
+        return not self.probing
+
+    def on_dispatch(self) -> None:
+        if self.state == HALF_OPEN:
+            self.probing = True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = CLOSED
+        self.probing = False
+
+    def record_failure(self, now: int) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            self.state = OPEN
+            self.open_until = now + self.cooldown
+            self.failures = 0
+            self.probing = False
+            self.opens += 1
+
+
+class Balancer:
+    """Routes requests to workers; owns retry budgets and breakers."""
+
+    def __init__(self, workers, supervisor: Supervisor,
+                 policy: str = ROUND_ROBIN, queue_cap: int = 2,
+                 max_attempts: int = 2, hedge_stranded: bool = True,
+                 breaker_threshold: int = 3, breaker_cooldown: int = 25,
+                 telemetry=None):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown balance policy {policy!r}; "
+                             f"expected one of {POLICIES}")
+        self.workers = {w.wid: w for w in workers}
+        self.order = sorted(self.workers)
+        self.supervisor = supervisor
+        self.policy = policy
+        self.queue_cap = queue_cap
+        self.max_attempts = max_attempts
+        self.hedge_stranded = hedge_stranded
+        self.telemetry = telemetry \
+            if (telemetry is not None and telemetry.enabled) else None
+        self.pending: Deque[Request] = deque()
+        self.queues: Dict[int, Deque[Request]] = {
+            wid: deque() for wid in self.order}
+        self.inflight: Dict[int, Request] = {}
+        self.breakers: Dict[int, CircuitBreaker] = {
+            wid: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for wid in self.order}
+        self._rr = 0
+        self.failed_no_capacity = 0
+
+    # ------------------------------------------------------------------
+    def offer(self, request: Request) -> None:
+        self.pending.append(request)
+
+    def outstanding(self, wid: int) -> int:
+        return len(self.queues[wid]) + (1 if wid in self.inflight else 0)
+
+    def in_system(self) -> int:
+        return (len(self.pending) + len(self.inflight)
+                + sum(len(q) for q in self.queues.values()))
+
+    # ------------------------------------------------------------------
+    def _eligible(self, now: int) -> List[int]:
+        return [wid for wid in self.order
+                if self.supervisor.dispatchable(wid)
+                and self.breakers[wid].allow(now)
+                and self.outstanding(wid) < self.queue_cap]
+
+    def _pick(self, eligible: List[int]) -> int:
+        if self.policy == LEAST_OUTSTANDING:
+            return min(eligible, key=lambda w: (self.outstanding(w), w))
+        # Round-robin over worker ids, skipping ineligible ones.
+        n = max(self.order) + 1
+        for offset in range(n):
+            wid = (self._rr + offset) % n
+            if wid in self.workers and wid in eligible:
+                self._rr = (wid + 1) % n
+                return wid
+        return eligible[0]
+
+    def dispatch(self, now: int) -> List[Request]:
+        """Assign pending requests to worker queues, then start idle
+        workers on the head of their queue.  Returns requests that went
+        terminal here (backlog failed for lack of capacity)."""
+        while self.pending:
+            eligible = self._eligible(now)
+            if not eligible:
+                break
+            request = self.pending.popleft()
+            wid = self._pick(eligible)
+            self.queues[wid].append(request)
+        for wid in self.order:
+            if wid in self.inflight or not self.queues[wid]:
+                continue
+            if not self.supervisor.dispatchable(wid):
+                continue
+            request = self.queues[wid].popleft()
+            request.attempts += 1
+            request.worker = wid
+            self.inflight[wid] = request
+            self.breakers[wid].on_dispatch()
+            self.workers[wid].submit(request.rid, request.payload)
+        # Nobody left to serve the backlog: fail it fast.
+        if self.supervisor.alive_count() == 0:
+            return self._fail_backlog(now)
+        return []
+
+    # ------------------------------------------------------------------
+    def on_outcome(self, wid: int, rid: int, status: str,
+                   now: int) -> Optional[Request]:
+        """A worker resolved a request (served or error reply)."""
+        request = self.inflight.pop(wid, None)
+        if request is None or request.rid != rid:
+            raise RuntimeError(
+                f"balancer: worker {wid} resolved rid {rid} but "
+                f"{request.rid if request else None} was in flight")
+        breaker = self.breakers[wid]
+        if status == "served":
+            breaker.record_success()
+        else:
+            was_open = breaker.state == OPEN
+            breaker.record_failure(now)
+            if breaker.state == OPEN and not was_open \
+                    and self.telemetry is not None:
+                self.telemetry.fleet_event("breaker_open", wid, now)
+        self.supervisor.on_outcome(wid, status)
+        request.status = status
+        request.completed_at = now
+        return request
+
+    def on_worker_crash(self, wid: int, stranded_rid: Optional[int],
+                        now: int) -> List[Request]:
+        """Crash fallout: the in-flight request consumes an attempt (and
+        retries if budget remains); queued requests either hedge back to
+        the global pending queue or fail with the worker.  Returns
+        requests that reached a terminal state here."""
+        terminal: List[Request] = []
+        breaker = self.breakers[wid]
+        was_open = breaker.state == OPEN
+        breaker.record_failure(now)
+        if breaker.state == OPEN and not was_open \
+                and self.telemetry is not None:
+            self.telemetry.fleet_event("breaker_open", wid, now)
+        request = self.inflight.pop(wid, None)
+        if request is not None:
+            if stranded_rid is not None and request.rid != stranded_rid:
+                raise RuntimeError(
+                    f"balancer: worker {wid} stranded rid {stranded_rid} "
+                    f"but rid {request.rid} was in flight")
+            if request.attempts < self.max_attempts:
+                self.pending.appendleft(request)
+            else:
+                request.status = "failed"
+                request.detail = "crash; retries exhausted"
+                request.completed_at = now
+                terminal.append(request)
+        queued = self.queues[wid]
+        if self.hedge_stranded:
+            # Hedged re-dispatch: queue assignment never consumed an
+            # attempt, so hand the whole queue straight back (in order).
+            while queued:
+                self.pending.appendleft(queued.pop())
+        elif self.supervisor.status(wid) == "dead":
+            while queued:
+                waiting = queued.popleft()
+                waiting.status = "failed"
+                waiting.detail = "worker dead"
+                waiting.completed_at = now
+                terminal.append(waiting)
+        # else: sticky queueing — requests wait out the restart in place.
+        return terminal
+
+    def _fail_backlog(self, now: int) -> List[Request]:
+        failed: List[Request] = []
+        while self.pending:
+            request = self.pending.popleft()
+            request.status = "failed"
+            request.detail = "no capacity"
+            request.completed_at = now
+            failed.append(request)
+            self.failed_no_capacity += 1
+        return failed
+
+    def expire(self, now: int, deadline_ticks: int) -> List[Request]:
+        """Client timeouts: fail queued/pending requests older than the
+        deadline.  In-flight requests are left to finish — the worker is
+        actively serving them — so expiry models a client abandoning its
+        place in line, not cancelling server work."""
+        expired: List[Request] = []
+
+        def sweep(queue: Deque[Request]) -> Deque[Request]:
+            kept: Deque[Request] = deque()
+            while queue:
+                request = queue.popleft()
+                if now - request.arrival >= deadline_ticks:
+                    request.status = "failed"
+                    request.detail = "deadline"
+                    request.completed_at = now
+                    expired.append(request)
+                else:
+                    kept.append(request)
+            return kept
+
+        self.pending = sweep(self.pending)
+        for wid in self.order:
+            self.queues[wid] = sweep(self.queues[wid])
+        return expired
+
+    def abandon(self, now: int) -> List[Request]:
+        """Campaign timeout: fail everything still in the system."""
+        failed = self._fail_backlog(now)
+        for wid in self.order:
+            queue = self.queues[wid]
+            while queue:
+                queue[0].status = "failed"
+                queue[0].detail = "campaign timeout"
+                queue[0].completed_at = now
+                failed.append(queue.popleft())
+            request = self.inflight.pop(wid, None)
+            if request is not None:
+                request.status = "failed"
+                request.detail = "campaign timeout"
+                request.completed_at = now
+                failed.append(request)
+        return failed
+
+    # ------------------------------------------------------------------
+    def breaker_opens(self) -> int:
+        return sum(b.opens for b in self.breakers.values())

@@ -1,0 +1,250 @@
+"""Scripted, seeded fault campaigns against an enclave fleet.
+
+One campaign = one app, one scheme, one violation policy, N workers, and
+a deterministic scenario: client traffic (optionally poisoned through the
+chaos fuzzer), optional EPC-thrash noisy neighbours, optional scripted
+watchdog hangs.  Everything random derives from ``derive(seed, salt)``
+sub-seeds, and the tick loop visits workers in id order, so two campaigns
+with identical configs are byte-identical — reports, traces and all.
+
+The tick loop::
+
+    arrivals → scenario events → supervisor timers → dispatch
+             → workers run (wid order) → outcomes → SLO
+
+Each tick is ``tick_cycles`` simulated cycles of every running worker;
+restart costs from the cold-start model translate into ticks a worker
+spends in ``restarting``, which is where fail-stop's availability gap
+comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults import RequestFuzzer, derive
+from repro.fleet.balancer import Balancer, Request
+from repro.fleet.slo import SLOTracker
+from repro.fleet.supervisor import Supervisor
+from repro.fleet.worker import EnclaveWorker
+from repro.minic import compile_source
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign, and nothing else."""
+
+    app: str = "memcached"
+    scheme: str = "sgxbounds"
+    policy: str = "drop-request"
+    workers: int = 4
+    fault_rate: float = 0.2
+    seed: int = 1234
+    size: str = "XS"
+    arrivals_per_tick: int = 2
+    tick_cycles: int = 5_000
+    watchdog_budget: int = 200_000
+    rewarm_scale: float = 1.0
+    balance: str = "round-robin"
+    queue_cap: int = 2
+    max_attempts: int = 2
+    hedge_stranded: bool = True
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 25
+    crash_loop_k: int = 3
+    crash_loop_window: int = 60
+    #: Client patience: a request still waiting (queued, not in flight)
+    #: this many ticks after arrival times out as failed.
+    deadline_ticks: int = 60
+    #: Noisy-neighbour EPC thrash probability per request (0 = off).
+    epc_spike_rate: float = 0.0
+    #: Poison storm: ``(start_tick, end_tick, rate)`` — within the window
+    #: arrivals are fuzzed at ``rate`` instead of ``fault_rate``.
+    storm: Tuple[int, int, float] = ()
+    #: Scripted livelock: ``(tick, worker, duration_ticks)`` — the worker
+    #: hangs mid-request until the watchdog kills it.
+    hang: Tuple[int, int, int] = ()
+    #: Fail-safe bound on campaign length.
+    max_ticks: int = 5_000
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run."""
+
+    config: CampaignConfig
+    ticks: int = 0
+    slo: Dict[str, object] = field(default_factory=dict)
+    supervisor: Dict[str, object] = field(default_factory=dict)
+    breaker_opens: int = 0
+    crashes: int = 0
+    watchdog_kills: int = 0
+    worker_cycles: int = 0
+    fuzzed_requests: int = 0
+    events: List[Tuple[int, str, int, str]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        cfg = self.config
+        return {
+            "config": {
+                "app": cfg.app, "scheme": cfg.scheme, "policy": cfg.policy,
+                "workers": cfg.workers, "fault_rate": cfg.fault_rate,
+                "seed": cfg.seed, "size": cfg.size,
+                "tick_cycles": cfg.tick_cycles,
+                "watchdog_budget": cfg.watchdog_budget,
+                "rewarm_scale": cfg.rewarm_scale, "balance": cfg.balance,
+                "hedge_stranded": cfg.hedge_stranded,
+            },
+            "ticks": self.ticks,
+            "slo": self.slo,
+            "supervisor": self.supervisor,
+            "breaker_opens": self.breaker_opens,
+            "crashes": self.crashes,
+            "watchdog_kills": self.watchdog_kills,
+            "worker_cycles": self.worker_cycles,
+            "fuzzed_requests": self.fuzzed_requests,
+            "events": [list(e) for e in self.events],
+        }
+
+
+def _profile(app: str):
+    # Reuses the chaos harness protocol profiles (satellite of PR 1): the
+    # fleet fuzzes traffic exactly the way the single-server chaos runs do.
+    from repro.harness.chaos import PROFILES
+    if app not in PROFILES:
+        raise ValueError(f"unknown fleet app {app!r}; "
+                         f"expected one of {sorted(PROFILES)}")
+    return PROFILES[app]
+
+
+def run_campaign(config: CampaignConfig, telemetry=None) -> CampaignResult:
+    """Run one seeded campaign to completion; deterministic end to end."""
+    from repro import telemetry as telemetry_mod
+    from repro.harness.experiments import APP_CONFIG
+
+    telemetry = telemetry if telemetry is not None \
+        else telemetry_mod.get_default()
+    profile = _profile(config.app)
+    mod = profile.module
+    requests = mod.workload(mod.SIZES[config.size])
+    # apply() reseeds per call, so fuzz the whole trace up front (one draw
+    # sequence per request, exactly like the single-server chaos runs) and
+    # keep a parallel storm-rate copy for arrivals inside the storm window.
+    fuzzer = RequestFuzzer(derive(config.seed, f"fleet-fuzz:{config.app}"),
+                           config.fault_rate, profile.length_field,
+                           profile.attacks, profile.weights)
+    fuzzed_trace = fuzzer.apply(requests)
+    storm_trace = None
+    if config.storm:
+        storm_fuzzer = RequestFuzzer(
+            derive(config.seed, f"fleet-storm:{config.app}"),
+            config.storm[2], profile.length_field, profile.attacks,
+            profile.weights)
+        storm_trace = storm_fuzzer.apply(requests)
+
+    module = compile_source(mod.SOURCE, config.app)
+    enclave_config = replace(
+        APP_CONFIG,
+        cold_start=APP_CONFIG.cold_start.scaled(config.rewarm_scale))
+    workers = [
+        EnclaveWorker(wid, module, config.scheme, policy=config.policy,
+                      config=enclave_config,
+                      watchdog_budget=config.watchdog_budget,
+                      epc_spike_rate=config.epc_spike_rate,
+                      faults_seed=derive(config.seed, "fleet-epc"),
+                      telemetry=telemetry)
+        for wid in range(config.workers)]
+    supervisor = Supervisor(
+        [w.wid for w in workers],
+        cold_start=enclave_config.cold_start,
+        rewarm_scale=config.rewarm_scale,
+        tick_cycles=config.tick_cycles,
+        crash_loop_k=config.crash_loop_k,
+        crash_loop_window=config.crash_loop_window,
+        telemetry=telemetry)
+    balancer = Balancer(workers, supervisor, policy=config.balance,
+                        queue_cap=config.queue_cap,
+                        max_attempts=config.max_attempts,
+                        hedge_stranded=config.hedge_stranded,
+                        breaker_threshold=config.breaker_threshold,
+                        breaker_cooldown=config.breaker_cooldown,
+                        telemetry=telemetry)
+    registry = telemetry.registry \
+        if (telemetry is not None and telemetry.enabled) else None
+    slo = SLOTracker(config.tick_cycles, registry=registry)
+    result = CampaignResult(config)
+
+    arrivals = iter(enumerate(requests))
+    exhausted = False
+    now = 0
+    while now < config.max_ticks:
+        # 1. Arrivals (fuzzed at the door, storm rate inside the window).
+        for _ in range(config.arrivals_per_tick):
+            nxt = next(arrivals, None)
+            if nxt is None:
+                exhausted = True
+                break
+            rid, payload = nxt
+            fuzzed = fuzzed_trace[rid]
+            if (storm_trace is not None
+                    and config.storm[0] <= now < config.storm[1]):
+                fuzzed = storm_trace[rid]
+            if fuzzed != payload:
+                result.fuzzed_requests += 1
+            balancer.offer(Request(rid, fuzzed, arrival=now))
+            slo.on_submitted()
+        # 2. Scenario events.
+        if config.hang and now == config.hang[0]:
+            wid = config.hang[1]
+            if supervisor.running(wid):
+                workers[wid].inject_hang(config.hang[2])
+                result.events.append((now, "hang_injected", wid, ""))
+        # 3. Supervisor timers (promotions + reboots).
+        for wid in supervisor.tick(now):
+            workers[wid].boot()
+            result.events.append((now, "restarted", wid, ""))
+        # 4. Dispatch.
+        for req in balancer.dispatch(now):
+            slo.on_terminal(req)
+        # 5. Workers run, in wid order.
+        for worker in workers:
+            if not supervisor.running(worker.wid):
+                continue
+            report = worker.run_tick(config.tick_cycles)
+            for rid, status in report.outcomes:
+                req = balancer.on_outcome(worker.wid, rid, status, now)
+                slo.on_terminal(req)
+            if report.crash is not None:
+                result.crashes += 1
+                if report.crash == "WatchdogTimeout":
+                    result.watchdog_kills += 1
+                result.events.append(
+                    (now, "crash", worker.wid, report.crash))
+                supervisor.on_crash(worker, now, report.crash)
+                for req in balancer.on_worker_crash(
+                        worker.wid, report.stranded, now):
+                    slo.on_terminal(req)
+        # 6. Client deadlines: queued requests past their patience fail.
+        for req in balancer.expire(now, config.deadline_ticks):
+            slo.on_terminal(req)
+        # 7. Termination: all traffic is in, nothing left in the system.
+        if exhausted and balancer.in_system() == 0:
+            now += 1
+            break
+        now += 1
+    else:
+        # Fail-safe: time out everything still in the system as failed.
+        for req in balancer.abandon(now):
+            slo.on_terminal(req)
+
+    result.ticks = now
+    result.slo = slo.summary()
+    result.supervisor = supervisor.summary()
+    result.breaker_opens = balancer.breaker_opens()
+    result.worker_cycles = sum(w.total_cycles + w.cycles() for w in workers)
+    if registry is not None:
+        registry.gauge("fleet.availability").set(
+            result.slo["availability"])
+        registry.counter("fleet.ticks").inc(result.ticks)
+    return result

@@ -1,0 +1,75 @@
+"""SLO accounting: availability and latency percentiles for a campaign.
+
+Latency is priced on the simulated clock — a request that arrived on
+tick ``a`` and completed on tick ``c`` spent ``(c - a + 1) * tick_cycles``
+cycles in the system, queueing and restarts included.  Percentiles come
+from the deterministic fixed-bucket histograms of
+:mod:`repro.telemetry.metrics` (a percentile is a bucket upper edge, so
+two identical campaigns report identical numbers on any host).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fleet.balancer import Request
+from repro.telemetry.metrics import Histogram, exponential_bounds
+
+#: Latency bucket edges in cycles: 1k .. ~1G, factor 2 — wide enough for
+#: one-tick hits and for requests stuck behind a cold restart.
+LATENCY_BOUNDS = exponential_bounds(start=1_000, factor=2, count=21)
+
+
+class SLOTracker:
+    """Prices terminal requests into availability + latency quantiles."""
+
+    def __init__(self, tick_cycles: int, registry=None):
+        self.tick_cycles = tick_cycles
+        if registry is not None:
+            self.latency = registry.histogram("fleet.latency_cycles",
+                                              LATENCY_BOUNDS)
+        else:
+            self.latency = Histogram("fleet.latency_cycles", LATENCY_BOUNDS)
+        self.submitted = 0
+        self.served = 0
+        self.error_replies = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    def on_submitted(self, count: int = 1) -> None:
+        self.submitted += count
+
+    def on_terminal(self, request: Request) -> None:
+        if request.status == "served":
+            self.served += 1
+            latency = (request.completed_at - request.arrival + 1) \
+                * self.tick_cycles
+            self.latency.observe(latency)
+        elif request.status == "error":
+            self.error_replies += 1
+        else:
+            self.failed += 1
+
+    # ------------------------------------------------------------------
+    def availability(self) -> float:
+        if not self.submitted:
+            return 1.0
+        return self.served / self.submitted
+
+    def summary(self) -> Dict[str, object]:
+        served = self.served
+        return {
+            "submitted": self.submitted,
+            "served": served,
+            "error_replies": self.error_replies,
+            "failed": self.failed,
+            "availability": self.availability(),
+            "latency_p50_cycles": self.latency.percentile_bucket(0.50)
+            if served else None,
+            "latency_p95_cycles": self.latency.percentile_bucket(0.95)
+            if served else None,
+            "latency_p99_cycles": self.latency.percentile_bucket(0.99)
+            if served else None,
+            "latency_mean_cycles": (self.latency.total / served)
+            if served else None,
+        }

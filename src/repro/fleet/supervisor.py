@@ -1,0 +1,157 @@
+"""Fleet supervisor: the worker failure lifecycle on the tick clock.
+
+States::
+
+    starting ──► healthy ◄──► degraded
+                    │             │
+                    ▼             ▼
+                 crashed ──► restarting ──► starting   (cold start priced)
+                    │
+                    ▼ (K crashes within a window)
+                  dead
+
+A crash is priced with :class:`repro.sgx.ColdStartModel` against the
+*crashed* incarnation's working set — the supervisor asks the dead
+enclave how many EPC pages it had warm, so a worker that crashed deep
+into a large working set pays a longer restart than one that died on its
+first request.  The cost lands on the simulated clock as ticks of
+unavailability.  K crashes inside a sliding window mark the worker dead
+(crash loop): the supervisor stops paying for restarts that never stick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sgx import ColdStartModel
+
+STARTING = "starting"
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+CRASHED = "crashed"
+RESTARTING = "restarting"
+DEAD = "dead"
+
+#: States in which the balancer may hand a worker requests.
+DISPATCHABLE = (HEALTHY, DEGRADED)
+#: States in which the worker's VM executes during a tick.
+RUNNING = (STARTING, HEALTHY, DEGRADED)
+
+
+class WorkerRecord:
+    """Supervisor-side view of one worker."""
+
+    __slots__ = ("status", "ready_at", "crash_ticks", "restarts",
+                 "restart_cycles", "crash_reasons")
+
+    def __init__(self) -> None:
+        self.status = STARTING
+        self.ready_at = 0          # tick at which the next promotion fires
+        self.crash_ticks: List[int] = []
+        self.restarts = 0
+        self.restart_cycles = 0
+        self.crash_reasons: List[str] = []
+
+
+class Supervisor:
+    """Owns worker state; prices restarts; detects crash loops."""
+
+    def __init__(self, worker_ids, cold_start: Optional[ColdStartModel] = None,
+                 rewarm_scale: float = 1.0, tick_cycles: int = 5_000,
+                 startup_ticks: int = 1, crash_loop_k: int = 3,
+                 crash_loop_window: int = 60, telemetry=None):
+        model = cold_start or ColdStartModel()
+        self.model = model.scaled(rewarm_scale) \
+            if rewarm_scale != model.rewarm_scale else model
+        self.tick_cycles = tick_cycles
+        self.startup_ticks = startup_ticks
+        self.crash_loop_k = crash_loop_k
+        self.crash_loop_window = crash_loop_window
+        self.telemetry = telemetry \
+            if (telemetry is not None and telemetry.enabled) else None
+        self.records: Dict[int, WorkerRecord] = {
+            wid: WorkerRecord() for wid in worker_ids}
+        for record in self.records.values():
+            record.ready_at = startup_ticks
+        self.total_restart_cycles = 0
+        self.deaths = 0
+
+    # ------------------------------------------------------------------
+    def status(self, wid: int) -> str:
+        return self.records[wid].status
+
+    def dispatchable(self, wid: int) -> bool:
+        return self.records[wid].status in DISPATCHABLE
+
+    def running(self, wid: int) -> bool:
+        return self.records[wid].status in RUNNING
+
+    def alive_count(self) -> int:
+        return sum(1 for r in self.records.values() if r.status != DEAD)
+
+    # ------------------------------------------------------------------
+    def on_outcome(self, wid: int, status: str) -> None:
+        """Health tracking from request outcomes: errors degrade, a
+        served request restores full health."""
+        record = self.records[wid]
+        if record.status not in DISPATCHABLE:
+            return
+        record.status = HEALTHY if status == "served" else DEGRADED
+
+    def on_crash(self, worker, now: int, reason: str) -> Optional[int]:
+        """Price the crash; returns restart cost in cycles, or None when
+        the worker crossed the crash-loop threshold and is dead."""
+        record = self.records[worker.wid]
+        record.status = CRASHED
+        record.crash_ticks.append(now)
+        record.crash_reasons.append(reason)
+        recent = [t for t in record.crash_ticks
+                  if now - t <= self.crash_loop_window]
+        if len(recent) >= self.crash_loop_k:
+            record.status = DEAD
+            self.deaths += 1
+            if self.telemetry is not None:
+                self.telemetry.fleet_event("dead", worker.wid, now,
+                                           detail=reason)
+            return None
+        cost = worker.vm.enclave.cold_start_cycles(self.model)
+        record.restarts += 1
+        record.restart_cycles += cost
+        self.total_restart_cycles += cost
+        record.status = RESTARTING
+        # The replacement is serving again once the cold start has been
+        # paid down, one tick of simulated cycles at a time.
+        record.ready_at = now + max(1, -(-cost // self.tick_cycles))
+        if self.telemetry is not None:
+            self.telemetry.fleet_event("crash", worker.wid, now,
+                                       detail=reason)
+        return cost
+
+    def tick(self, now: int) -> List[int]:
+        """Advance lifecycle timers; returns worker ids to (re)boot now."""
+        boots: List[int] = []
+        for wid in sorted(self.records):
+            record = self.records[wid]
+            if record.status == RESTARTING and now >= record.ready_at:
+                record.status = STARTING
+                record.ready_at = now + self.startup_ticks
+                boots.append(wid)
+                if self.telemetry is not None:
+                    self.telemetry.fleet_event("restart", wid, now)
+            elif record.status == STARTING and now >= record.ready_at:
+                record.status = HEALTHY
+        return boots
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        return {
+            "restarts": sum(r.restarts for r in self.records.values()),
+            "deaths": self.deaths,
+            "restart_cycles": self.total_restart_cycles,
+            "per_worker": {
+                wid: {"status": r.status, "restarts": r.restarts,
+                      "crashes": len(r.crash_ticks),
+                      "restart_cycles": r.restart_cycles,
+                      "crash_reasons": list(r.crash_reasons)}
+                for wid, r in sorted(self.records.items())},
+        }

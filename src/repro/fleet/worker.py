@@ -1,0 +1,214 @@
+"""One fleet worker: an enclave incarnation serving requests depth-1.
+
+A worker wraps the exact single-server substrate of
+:func:`repro.harness.runner.run_server` — same scheme instrumentation,
+same enclave, same VM — but drives it cooperatively: the app's ``main``
+loop parks in a blocking ``net_recv`` between requests, the balancer
+pushes one request at a time, and :meth:`EnclaveWorker.run_tick` advances
+the VM by a bounded number of simulated cycles so many workers interleave
+on one global tick clock.
+
+Failure semantics match the single-server harness: a violation under
+``drop-request`` rolls back to the request checkpoint and surfaces an
+error reply; under ``abort`` (or any unrecoverable fault — OOM, hijack,
+watchdog) the incarnation crashes and the supervisor prices a cold start.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import (
+    ControlFlowHijack,
+    OutOfMemory,
+    ReproError,
+    RequestAborted,
+    SegmentationFault,
+    TrapError,
+    WatchdogTimeout,
+)
+from repro.faults import FaultInjector, derive
+from repro.harness.runner import build_server_vm
+from repro.vm import machine as vm_mod
+from repro.vm import policy as violation_policy
+from repro.workloads import NetworkSim
+from repro.workloads.netsim import ERROR_MARKER
+
+#: Iteration bound handed to the app's ``main(n, threads)``: effectively
+#: infinite — the blocking recv paces the loop, not the bound.
+SERVER_ITERATIONS = 1 << 30
+
+#: Outcome status values reported per request.
+SERVED = "served"
+ERROR = "error"
+
+
+class TickReport:
+    """What one :meth:`EnclaveWorker.run_tick` produced."""
+
+    __slots__ = ("outcomes", "crash", "stranded")
+
+    def __init__(self, outcomes: List[Tuple[int, str]],
+                 crash: Optional[str] = None,
+                 stranded: Optional[int] = None):
+        self.outcomes = outcomes    # [(rid, SERVED | ERROR), ...]
+        self.crash = crash          # crash reason, None while alive
+        self.stranded = stranded    # rid in flight at the crash, if any
+
+
+class EnclaveWorker:
+    """One supervised enclave; reincarnated by ``boot()`` after a crash."""
+
+    def __init__(self, wid: int, module, scheme_name: str,
+                 policy: Optional[str] = None, config=None,
+                 scheme_kwargs=None, watchdog_budget: int = 200_000,
+                 epc_spike_rate: float = 0.0,
+                 faults_seed: Optional[int] = None, telemetry=None):
+        self.wid = wid
+        self.module = module              # compiled, uninstrumented base
+        self.scheme_name = scheme_name
+        self.policy = policy
+        self.config = config
+        self.scheme_kwargs = scheme_kwargs
+        self.watchdog_budget = watchdog_budget
+        self.epc_spike_rate = epc_spike_rate
+        self.faults_seed = faults_seed
+        self.telemetry = telemetry
+        self.incarnations = 0
+        self.served = 0
+        self.error_replies = 0
+        self.crashes = 0
+        self.total_cycles = 0             # summed over dead incarnations
+        self.vm = None
+        self.boot()
+
+    # ------------------------------------------------------------------
+    def boot(self) -> None:
+        """Build a fresh incarnation (new scheme clone, enclave, VM)."""
+        self.incarnations += 1
+        vm, scheme = build_server_vm(
+            self.module, self.scheme_name, config=self.config,
+            scheme_kwargs=self.scheme_kwargs, policy=self.policy,
+            telemetry=self.telemetry)
+        vm.net_blocking = True
+        vm.net = NetworkSim()
+        if self.epc_spike_rate > 0.0 and self.faults_seed is not None:
+            # Noisy-neighbour analog: a co-tenant occasionally thrashes
+            # the shared EPC; seeded per incarnation so restarts do not
+            # replay the same spike schedule.
+            vm.faults = FaultInjector(
+                derive(self.faults_seed,
+                       f"epc:w{self.wid}:i{self.incarnations}"),
+                epc_spike_rate=self.epc_spike_rate)
+        self.conn = vm.net.connect()
+        main_fn = vm.program.functions["main"]
+        vm.new_thread(main_fn, (SERVER_ITERATIONS, 1))
+        self.vm = vm
+        self.scheme = scheme
+        self.inflight: Optional[Tuple[int, bytes]] = None
+        self.last_error: Optional[Exception] = None
+        self._dispatch_instr = 0
+        self._sent_seen = 0
+        self._hang_ticks = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return 0 if self.inflight is None else 1
+
+    def cycles(self) -> int:
+        """Simulated cycles of the live incarnation."""
+        return self.vm.enclave.cycles()
+
+    def submit(self, rid: int, payload: bytes) -> None:
+        """Hand one request to the worker (depth-1: caller checks idle)."""
+        vm = self.vm
+        self.inflight = (rid, payload)
+        self._sent_seen = len(vm.net.sent(self.conn))
+        self._dispatch_instr = vm.counters.instructions
+        vm.net.push(self.conn, payload)
+        vm.unblock_net_waiters(self.conn)
+
+    def inject_hang(self, ticks: int) -> None:
+        """Scenario hook: the worker livelocks for ``ticks`` ticks,
+        burning instructions without progress (watchdog fodder)."""
+        self._hang_ticks = max(self._hang_ticks, ticks)
+
+    # ------------------------------------------------------------------
+    def run_tick(self, cycle_budget: int) -> TickReport:
+        """Advance the incarnation by about ``cycle_budget`` cycles."""
+        vm = self.vm
+        outcomes: List[Tuple[int, str]] = []
+        if self._hang_ticks > 0:
+            self._hang_ticks -= 1
+            # A stuck enclave spins: the cycles pass, nothing completes.
+            vm.charge(cycle_budget)
+            if self._watchdog_fired():
+                return self._crash_report("WatchdogTimeout", outcomes)
+            return TickReport(outcomes)
+        start = vm.enclave.cycles()
+        while vm.enclave.cycles() - start < cycle_budget:
+            thread = next((t for t in vm.threads
+                           if t.state == vm_mod.RUNNABLE), None)
+            if thread is None:
+                break                      # parked in blocking recv
+            try:
+                vm._step(thread, vm.quantum)
+            except RequestAborted as drop:
+                vm.current = None
+                if not vm._recover_request(thread, drop.violation):
+                    self.last_error = drop.violation
+                    return self._crash_report(
+                        type(drop.violation).__name__, outcomes)
+            except (SegmentationFault, ControlFlowHijack, TrapError) as err:
+                vm.current = None
+                if (vm.scheme.policy != violation_policy.DROP_REQUEST
+                        or not vm._recover_request(thread, err)):
+                    self.last_error = err
+                    return self._crash_report(type(err).__name__, outcomes)
+            except OutOfMemory as err:
+                self.last_error = err
+                return self._crash_report("OOM", outcomes)
+            except ReproError as err:
+                self.last_error = err
+                return self._crash_report(type(err).__name__, outcomes)
+            outcomes.extend(self._drain_replies())
+            if self._watchdog_fired():
+                return self._crash_report("WatchdogTimeout", outcomes)
+        outcomes.extend(self._drain_replies())
+        return TickReport(outcomes)
+
+    # ------------------------------------------------------------------
+    def _watchdog_fired(self) -> bool:
+        if self.inflight is None:
+            return False
+        spent = self.vm.counters.instructions - self._dispatch_instr
+        if spent <= self.watchdog_budget:
+            return False
+        self.last_error = WatchdogTimeout(self.watchdog_budget, spent,
+                                          request_id=self.inflight[0])
+        return True
+
+    def _drain_replies(self) -> List[Tuple[int, str]]:
+        if self.inflight is None:
+            return []
+        sent = self.vm.net.sent(self.conn)
+        if len(sent) <= self._sent_seen:
+            return []
+        reply = sent[self._sent_seen]
+        self._sent_seen = len(sent)       # swallow multi-part replies
+        rid, _ = self.inflight
+        self.inflight = None
+        if reply == ERROR_MARKER:
+            self.error_replies += 1
+            return [(rid, ERROR)]
+        self.served += 1
+        return [(rid, SERVED)]
+
+    def _crash_report(self, reason: str,
+                      outcomes: List[Tuple[int, str]]) -> TickReport:
+        self.crashes += 1
+        self.total_cycles += self.vm.enclave.cycles()
+        stranded = self.inflight[0] if self.inflight is not None else None
+        self.inflight = None
+        return TickReport(outcomes, crash=reason, stranded=stranded)

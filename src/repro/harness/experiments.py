@@ -310,6 +310,50 @@ def fig13_case_studies(n: str = "S", clients: Sequence[int] = (1, 2, 4),
 
 
 # ---------------------------------------------------------------------------
+def fleet_availability(app: str = "memcached", workers: int = 4,
+                       fault_rate: float = 0.2, seed: int = 1234,
+                       size: str = "XS", scheme: str = "sgxbounds",
+                       policies: Sequence[str] = ("abort", "drop-request",
+                                                  "boundless"),
+                       rewarm_scales: Sequence[float] = (1.0, 8.0),
+                       balance: str = "round-robin",
+                       telemetry=None) -> Tuple[Dict, str]:
+    """Fleet availability: policies x restart cost over a worker fleet.
+
+    The §6.4 argument at fleet scale: fail-stop pays an enclave cold
+    start (rebuild + re-attestation + EPC re-warm) per detected
+    violation, and the rewarm sweep shows the availability gap growing
+    with the state a crash throws away.  One seeded campaign per cell;
+    rows are keyed ``(policy, rewarm_scale)``.
+    """
+    from repro.fleet import CampaignConfig, run_campaign
+    data: Dict[Tuple[str, float], Dict] = {}
+    rows = []
+    for scale in rewarm_scales:
+        for policy in policies:
+            cfg = CampaignConfig(app=app, scheme=scheme, policy=policy,
+                                 workers=workers, fault_rate=fault_rate,
+                                 seed=seed, size=size, rewarm_scale=scale,
+                                 balance=balance)
+            r = run_campaign(cfg, telemetry=telemetry)
+            slo = r.slo
+            sup = r.supervisor
+            data[(policy, scale)] = r.as_dict()
+            rows.append([
+                policy, scale, slo["availability"], slo["served"],
+                slo["error_replies"], slo["failed"], r.crashes,
+                sup["restarts"], sup["deaths"],
+                sup["restart_cycles"] / 1000.0, r.breaker_opens,
+                (slo["latency_p50_cycles"] or 0) / 1000.0,
+                (slo["latency_p99_cycles"] or 0) / 1000.0,
+            ])
+    text = report.fleet_table(
+        f"Fleet availability ({app}): {workers} workers, "
+        f"fault rate {fault_rate}, policy x EPC re-warm scale", rows)
+    return data, text
+
+
+# ---------------------------------------------------------------------------
 def tab1_defenses() -> Tuple[Dict, str]:
     """Table 1: the defense-classification table (static)."""
     return {}, report.DEFENSE_TABLE

@@ -61,6 +61,18 @@ def series_table(title: str, columns: Sequence[str],
     return "\n".join(lines)
 
 
+#: One row per (policy, rewarm-scale) cell of a fleet campaign sweep.
+FLEET_COLUMNS = ["policy", "rewarm", "avail", "served", "errors", "failed",
+                 "crashes", "restarts", "deaths", "restart_kcyc",
+                 "breaker", "p50_kcyc", "p99_kcyc"]
+
+
+def fleet_table(title: str, rows: Sequence[Sequence[object]]) -> str:
+    """Availability + tail-latency summary of a fleet campaign sweep
+    (``repro.fleet``): the §6.4 argument quantified at fleet scale."""
+    return series_table(title, FLEET_COLUMNS, rows)
+
+
 def render_violation(context: Dict[str, object]) -> str:
     """One-paragraph rendering of a structured violation context
     (:meth:`repro.errors.BoundsViolation.context`)."""

@@ -115,6 +115,33 @@ def run_workload(workload: Workload, scheme_name: str,
     return _finish(result, vm, scheme)
 
 
+def build_server_vm(module, scheme_name: str,
+                    config: Optional[EnclaveConfig] = None,
+                    scheme_kwargs: Optional[Dict] = None,
+                    policy: Optional[str] = None,
+                    seed: Optional[int] = None, telemetry=None):
+    """Shared server build path: scheme → instrument → Enclave → VM.
+
+    ``module`` is a *compiled but uninstrumented* MiniC module; it is never
+    mutated (instrumentation clones), so one compile can feed many VM
+    incarnations — :mod:`repro.fleet` rebuilds crashed workers through this
+    exact path.  Returns ``(vm, scheme)`` with the instrumented module
+    already loaded; the caller attaches net/faults and calls ``run``.
+    """
+    kwargs = dict(scheme_kwargs or {})
+    if policy is not None and scheme_name != "native":
+        kwargs.setdefault("policy", policy)
+    scheme = SCHEMES[scheme_name](**kwargs)
+    instrumented = scheme.instrument(module) if scheme else module.clone()
+    instrumented.finalize()
+    enclave = Enclave(config) if config is not None else Enclave()
+    telemetry = telemetry if telemetry is not None \
+        else telemetry_mod.get_default()
+    vm = VM(enclave=enclave, scheme=scheme, seed=seed, telemetry=telemetry)
+    vm.load(instrumented)
+    return vm, scheme
+
+
 def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
                scheme_name: str, n: int, threads: int = 1,
                config: Optional[EnclaveConfig] = None,
@@ -131,17 +158,10 @@ def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
     thread scheduler.  All default to the exact original behaviour.
     """
     result = RunResult(name, scheme_name, "-", threads)
-    kwargs = dict(scheme_kwargs or {})
-    if policy is not None and scheme_name != "native":
-        kwargs.setdefault("policy", policy)
-    scheme = SCHEMES[scheme_name](**kwargs)
     module = compile_source(source, name)
-    module = scheme.instrument(module) if scheme else module.clone()
-    module.finalize()
-    enclave = Enclave(config) if config is not None else Enclave()
-    telemetry = telemetry if telemetry is not None \
-        else telemetry_mod.get_default()
-    vm = VM(enclave=enclave, scheme=scheme, seed=seed, telemetry=telemetry)
+    vm, scheme = build_server_vm(module, scheme_name, config=config,
+                                 scheme_kwargs=scheme_kwargs, policy=policy,
+                                 seed=seed, telemetry=telemetry)
     vm.net = net if net is not None else NetworkSim()
     vm.faults = faults
     if vm.telemetry is not None:
@@ -150,7 +170,6 @@ def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
     for conn_requests in requests_by_conn:
         vm.net.connect(*conn_requests)
     try:
-        vm.load(module)
         result.result = vm.run("main", (n, threads))
     except OutOfMemory:
         result.crashed = "OOM"

@@ -2,10 +2,11 @@
 
 from repro.sgx.cache import Cache, CacheHierarchy, LINE_SIZE
 from repro.sgx.counters import CostModel, PerfCounters
-from repro.sgx.enclave import Enclave, EnclaveConfig
+from repro.sgx.enclave import ColdStartModel, Enclave, EnclaveConfig
 from repro.sgx.epc import EPC
 
 __all__ = [
+    "ColdStartModel",
     "Enclave",
     "EnclaveConfig",
     "EPC",

@@ -21,6 +21,37 @@ from repro.sgx.epc import EPC
 
 
 @dataclass(frozen=True)
+class ColdStartModel:
+    """Cycle cost of bringing a crashed enclave back to service.
+
+    Fail-stop is not one lost request: the replacement enclave must be
+    rebuilt (ECREATE/EADD/EEXTEND/EINIT measurement over every page),
+    re-attested to the clients, and — the dominant, workload-dependent
+    term — its working set re-faulted into a cold EPC page by page.  The
+    per-page term reuses the EPC-fault scale of :class:`CostModel`
+    (eviction + re-encryption + reload), so restart cost grows with the
+    working set the crash threw away.
+    """
+
+    build_cycles: int = 120_000        # ECREATE/EADD/EEXTEND/EINIT
+    attestation_cycles: int = 60_000   # quote + verification round-trip
+    epc_rewarm_cycles_per_page: int = 30_000   # re-fault one working-set page
+    #: Multiplier on the EPC re-warm term — the knob the fleet experiment
+    #: sweeps to show fail-stop's availability gap growing with state.
+    rewarm_scale: float = 1.0
+
+    def restart_cycles(self, working_set_pages: int) -> int:
+        """Simulated cycles to rebuild, re-attest, and re-warm."""
+        rewarm = int(max(0, working_set_pages)
+                     * self.epc_rewarm_cycles_per_page * self.rewarm_scale)
+        return self.build_cycles + self.attestation_cycles + rewarm
+
+    def scaled(self, rewarm_scale: float) -> "ColdStartModel":
+        """The same model with the EPC re-warm term scaled."""
+        return replace(self, rewarm_scale=rewarm_scale)
+
+
+@dataclass(frozen=True)
 class EnclaveConfig:
     """Machine parameters.
 
@@ -39,6 +70,9 @@ class EnclaveConfig:
     #: raise OutOfMemory, reproducing MPX's in-enclave crashes.
     commit_limit_bytes: int = 0
     cost: CostModel = field(default_factory=CostModel)
+    #: Crash-restart pricing (used by the fleet supervisor; never charged
+    #: on single-run paths).
+    cold_start: ColdStartModel = field(default_factory=ColdStartModel)
     #: Fraction of accesses sampled through the cache/EPC model (1 = all).
     #: Lowering it speeds large sweeps up; counters are scaled back up.
     sample_shift: int = 0
@@ -127,6 +161,22 @@ class Enclave:
                 registry.gauge("epc.pages_touched").set(
                     len(self.epc.pages_touched))
         return self.counters
+
+    def working_set_pages(self) -> int:
+        """Pages a restarted replacement would have to re-warm.
+
+        The EPC peak-resident count is the working set the cost model
+        actually priced; outside SGX (no EPC) fall back to materialized
+        pages of the address space.
+        """
+        if self.epc is not None:
+            return max(1, self.epc.peak_resident)
+        return max(1, self.space.stats()["materialized_pages"])
+
+    def cold_start_cycles(self, model: Optional[ColdStartModel] = None) -> int:
+        """Restart cost for *this* enclave's working set (fleet restarts)."""
+        model = model or self.config.cold_start
+        return model.restart_cycles(self.working_set_pages())
 
     def memory_report(self) -> Dict[str, int]:
         """Virtual-memory metrics, the paper's memory-overhead measure."""

@@ -118,6 +118,17 @@ class Telemetry:
                                   "address": err.address,
                                   "access": getattr(err, "access", None)})
 
+    # -- fleet hooks ------------------------------------------------------
+    def fleet_event(self, kind: str, wid: int, tick: int,
+                    detail: str = "") -> None:
+        """Lifecycle event from the fleet supervisor/balancer
+        (crash/restart/dead/breaker-open/watchdog)."""
+        self.registry.counter(f"fleet.{kind}").inc()
+        self.tracer.instant(f"fleet_{kind}", self.tracer.last_ts, wid,
+                            cat="fleet",
+                            args={"worker": wid, "tick": tick,
+                                  "detail": detail})
+
     # -- run-end collection ----------------------------------------------
     def collect_counters(self, snapshot: Dict[str, int],
                          prefix: str = "sgx") -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import VMError
+from repro.vm import machine as vm_mod
 from repro.vm import policy as violation_policy
 
 _CALL_COST = 6
@@ -204,6 +205,13 @@ def _net_recv(vm, thread, args):
     if not hasattr(vm, "net"):
         raise VMError("net_recv: no network attached to this VM")
     conn, buf, length = args[0], args[1], args[2]
+    if vm.net_blocking and not vm.net.pending(conn):
+        # Fleet workers park between requests instead of seeing EOF; the
+        # balancer wakes them via unblock_net_waiters when it dispatches.
+        # Parked before any charge so re-execution on wake is cost-neutral.
+        thread.state = vm_mod.BLOCKED
+        thread.wait = ("net", conn)
+        return vm_mod.BLOCK_RETRY
     vm.charge(80)
     if vm.faults is not None:
         vm.faults.on_request(vm)

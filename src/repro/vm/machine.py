@@ -267,6 +267,9 @@ class VM:
         #: Fault injector (``repro.faults.FaultInjector``) hooked into the
         #: allocator and net natives; None disables injection entirely.
         self.faults = None
+        #: When True, ``net_recv`` on an empty connection blocks the thread
+        #: (fleet workers park between requests) instead of returning EOF.
+        self.net_blocking = False
         self._ckpt_pending: Optional[Tuple[int, bytes]] = None
         self.dropped_requests = 0
         self.recovered_requests = 0
@@ -441,6 +444,13 @@ class VM:
     def unblock_lock_waiters(self, address: int) -> None:
         for other in self.threads:
             if other.state == BLOCKED and other.wait == ("lock", address):
+                other.state = RUNNABLE
+                other.wait = None
+
+    def unblock_net_waiters(self, conn: int) -> None:
+        """Wake threads parked in a blocking ``net_recv`` on ``conn``."""
+        for other in self.threads:
+            if other.state == BLOCKED and other.wait == ("net", conn):
                 other.state = RUNNABLE
                 other.wait = None
 

@@ -1,7 +1,7 @@
 """Network simulation for the server case studies.
 
 The paper drives Memcached/Apache/Nginx from client machines over a 10 Gb
-link; here clients are request generators feeding per-connection byte
+link; here clients are request generators feeding per-connection message
 queues, and the servers reach them through the ``net_recv``/``net_send``
 natives (the SCONE syscall interface).  Throughput is measured server-side
 in simulated cycles per served request.
@@ -12,13 +12,23 @@ request the server drops (``drop-request`` policy) can be retried a
 bounded number of times with exponential backoff before the client gives
 up and records an error, and all jitter comes from a seeded RNG so a
 chaos run is reproducible byte-for-byte.
+
+Every queued request is a :class:`_Message` with a process-unique id, so
+
+* retry budgets are charged per message, not per ``(conn, payload)`` —
+  two identical requests on one connection no longer share (and
+  undercount) a budget, and an entry is cleaned up once its message is
+  delivered and the connection has moved on;
+* a partial read (``maxlen`` split) keeps the message's identity: the
+  re-queued tail is the *same* message, so delivery accounting counts
+  messages, never fragments.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 #: Synthetic response the "client library" surfaces when the server drops
 #: a request for good (retries exhausted).  Lives in the outgoing stream
@@ -27,11 +37,22 @@ from typing import Deque, Dict, List, Optional
 ERROR_MARKER = b"ERR!"
 
 
+class _Message:
+    """One queued request with identity across splits and retries."""
+
+    __slots__ = ("mid", "payload", "offset")
+
+    def __init__(self, mid: int, payload: bytes):
+        self.mid = mid
+        self.payload = payload
+        self.offset = 0           # bytes already read by the server
+
+
 class ConnStats:
     """Per-connection delivery accounting."""
 
     __slots__ = ("pushed", "delivered", "responses", "errors", "retries",
-                 "failed", "backoff_cycles")
+                 "failed", "backoff_cycles", "error_replies")
 
     def __init__(self) -> None:
         self.pushed = 0          # requests queued by the client
@@ -41,6 +62,7 @@ class ConnStats:
         self.retries = 0         # dropped requests re-queued for retry
         self.failed = 0          # requests abandoned after max retries
         self.backoff_cycles = 0  # client-side cycles spent backing off
+        self.error_replies = 0   # ERROR_MARKER frames in the reply stream
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -58,14 +80,19 @@ class NetworkSim:
 
     def __init__(self, retry_limit: int = 0, backoff_cycles: int = 200,
                  seed: Optional[int] = None) -> None:
-        self._incoming: Dict[int, Deque[bytes]] = {}
+        self._incoming: Dict[int, Deque[_Message]] = {}
         self._outgoing: Dict[int, List[bytes]] = {}
         self._next_conn = 0
+        self._next_mid = 0
         self.retry_limit = retry_limit
         self.backoff_cycles = backoff_cycles
         self._rng = random.Random(seed) if seed is not None else None
         self.conn_stats: Dict[int, ConnStats] = {}
-        self._attempts: Dict[tuple, int] = {}
+        #: Retry attempts so far, keyed by message id.
+        self._attempts: Dict[int, int] = {}
+        #: Last fully delivered message per connection ``(mid, payload)``;
+        #: the message whose failure a ``fail_request`` would report.
+        self._await_outcome: Dict[int, Tuple[int, bytes]] = {}
         #: Optional ``repro.telemetry.Telemetry``; when attached, delivery
         #: events are published into its metrics registry.
         self.telemetry = None
@@ -76,18 +103,24 @@ class NetworkSim:
             stats = self.conn_stats[conn] = ConnStats()
         return stats
 
+    def _message(self, payload: bytes, mid: Optional[int] = None) -> _Message:
+        if mid is None:
+            mid = self._next_mid
+            self._next_mid += 1
+        return _Message(mid, payload)
+
     def connect(self, *requests: bytes) -> int:
         """Open a connection with ``requests`` queued for the server."""
         conn = self._next_conn
         self._next_conn += 1
-        self._incoming[conn] = deque(requests)
+        self._incoming[conn] = deque(self._message(r) for r in requests)
         self._outgoing[conn] = []
         self._stats(conn).pushed += len(requests)
         return conn
 
     def push(self, conn: int, data: bytes) -> None:
         """Queue one more request on an existing connection."""
-        self._incoming[conn].append(data)
+        self._incoming[conn].append(self._message(data))
         self._stats(conn).pushed += 1
 
     def recv(self, conn: int, maxlen: int) -> Optional[bytes]:
@@ -96,17 +129,38 @@ class NetworkSim:
         queue = self._incoming.get(conn)
         if not queue:
             return None
-        message = queue.popleft()
-        if len(message) > maxlen:
-            head, rest = message[:maxlen], message[maxlen:]
-            queue.appendleft(rest)
-            return head
+        message = queue[0]
+        remaining = len(message.payload) - message.offset
+        if remaining > maxlen:
+            # Partial read: the tail stays at the front of the queue as
+            # the same message, so accounting never sees a phantom
+            # extra request.
+            start = message.offset
+            message.offset += maxlen
+            return message.payload[start:start + maxlen]
+        queue.popleft()
+        data = message.payload[message.offset:]
         self._stats(conn).delivered += 1
+        # The previously delivered message on this connection can only be
+        # failed while it is the awaiting one; once a different message
+        # takes that slot its retry budget is unreachable garbage — unless
+        # it was requeued for retry and will come around again.
+        prev = self._await_outcome.get(conn)
+        if (prev is not None and prev[0] != message.mid
+                and not any(m.mid == prev[0] for m in queue)):
+            self._attempts.pop(prev[0], None)
+        self._await_outcome[conn] = (message.mid, message.payload)
         if self.telemetry is not None:
             self.telemetry.registry.counter("net.delivered").inc()
-        return message
+        return data
 
     def send(self, conn: int, data: bytes) -> None:
+        if data == ERROR_MARKER:
+            # An error frame is a failure notification, never a served
+            # response — keep it out of the availability numerator.
+            self._stats(conn).error_replies += 1
+            self._outgoing.setdefault(conn, []).append(data)
+            return
         self._outgoing.setdefault(conn, []).append(data)
         self._stats(conn).responses += 1
         if self.telemetry is not None:
@@ -120,12 +174,21 @@ class NetworkSim:
 
         Returns True when the client re-queues it for another attempt,
         False when retries are exhausted and the client records an error.
+        Attempts are charged against the *message* last delivered on
+        ``conn`` (identical payloads never share a budget); a direct call
+        for a payload the connection never delivered gets a fresh id.
         """
         stats = self._stats(conn)
-        key = (conn, raw)
-        attempt = self._attempts.get(key, 0)
+        awaiting = self._await_outcome.get(conn)
+        if awaiting is not None and awaiting[1] == raw:
+            mid = awaiting[0]
+        else:
+            mid = self._next_mid
+            self._next_mid += 1
+            self._await_outcome[conn] = (mid, raw)
+        attempt = self._attempts.get(mid, 0)
         if attempt < self.retry_limit:
-            self._attempts[key] = attempt + 1
+            self._attempts[mid] = attempt + 1
             stats.retries += 1
             if self.telemetry is not None:
                 self.telemetry.registry.counter("net.retries").inc()
@@ -133,11 +196,13 @@ class NetworkSim:
             if self._rng is not None:
                 backoff += self._rng.randrange(0, self.backoff_cycles // 4 + 1)
             stats.backoff_cycles += backoff
-            self._incoming.setdefault(conn, deque()).append(raw)
+            self._incoming.setdefault(conn, deque()).append(
+                self._message(raw, mid=mid))
             return True
-        self._attempts.pop(key, None)
+        self._attempts.pop(mid, None)
         stats.failed += 1
         stats.errors += 1
+        stats.error_replies += 1
         if self.telemetry is not None:
             self.telemetry.registry.counter("net.request_errors").inc()
         # Surface the failure to the client without counting it as a
@@ -150,15 +215,31 @@ class NetworkSim:
         return self._outgoing.get(conn, [])
 
     def pending(self, conn: int) -> int:
+        """Messages still queued on ``conn`` (a split tail counts as its
+        one message, not an extra request)."""
         return len(self._incoming.get(conn, ()))
 
     def unserved(self) -> int:
-        """Requests still sitting in client queues (server never got to
-        them — e.g. it crashed)."""
-        return sum(len(q) for q in self._incoming.values())
+        """Requests the server never *started* reading (e.g. it crashed).
 
-    def stats(self) -> Dict[str, object]:
-        """Aggregate delivery statistics across all connections."""
+        A message the server began but did not finish (a ``maxlen``
+        split mid-read) is in flight, not unserved — see
+        :meth:`partially_delivered`."""
+        return sum(1 for q in self._incoming.values()
+                   for m in q if m.offset == 0)
+
+    def partially_delivered(self) -> int:
+        """Messages the server started reading but has not finished."""
+        return sum(1 for q in self._incoming.values()
+                   for m in q if m.offset > 0)
+
+    def stats(self, per_conn: bool = False) -> Dict[str, object]:
+        """Aggregate delivery statistics across all connections.
+
+        ``per_conn=True`` adds a ``"per_conn"`` breakdown (one entry per
+        connection) so a load balancer can attribute failures to the
+        worker behind each connection.
+        """
         total = ConnStats()
         for stats in self.conn_stats.values():
             for name in ConnStats.__slots__:
@@ -166,4 +247,9 @@ class NetworkSim:
         out = total.as_dict()
         out["availability"] = (total.responses / total.pushed
                                if total.pushed else 1.0)
+        out["unserved"] = self.unserved()
+        out["partially_delivered"] = self.partially_delivered()
+        if per_conn:
+            out["per_conn"] = {conn: self.conn_stats[conn].as_dict()
+                               for conn in sorted(self.conn_stats)}
         return out

@@ -209,6 +209,91 @@ class TestNetworkSimHardening:
         assert net.stats()["availability"] == 0.75
         assert net.unserved() == 1
 
+    def test_identical_payloads_get_separate_retry_budgets(self):
+        """Two identical requests on one connection must not share (and
+        so undercount) a retry budget: attempts are keyed per message."""
+        net = NetworkSim(retry_limit=1)
+        conn = net.connect(b"same", b"same")
+        first = net.recv(conn, 64)
+        assert net.fail_request(conn, first) is True   # first's retry 1
+        assert net.recv(conn, 64) == b"same"           # second message
+        # A fresh message gets its own budget, even with an equal payload.
+        assert net.fail_request(conn, b"same") is True
+        assert net.recv(conn, 64) == b"same"           # first retried
+        assert net.fail_request(conn, b"same") is False  # first exhausted
+        assert net.stats()["retries"] == 2
+        assert net.stats()["failed"] == 1
+
+    def test_attempts_cleaned_up_after_delivery_moves_on(self):
+        """Once a later message is delivered and the earlier one is no
+        longer queued, its retry-budget entry is reclaimed."""
+        net = NetworkSim(retry_limit=3)
+        conn = net.connect(b"first", b"second")
+        raw = net.recv(conn, 64)
+        net.fail_request(conn, raw)                    # first requeued
+        assert len(net._attempts) == 1
+        net.recv(conn, 64)                             # second delivered;
+        assert len(net._attempts) == 1                 # first still queued
+        net.recv(conn, 64)                             # first redelivered
+        net.recv(conn, 64) is None
+        # Connection has moved past "first": its budget entry is garbage.
+        net.push(conn, b"third")
+        net.recv(conn, 64)
+        assert net._attempts == {}
+
+    def test_partial_read_keeps_message_identity(self):
+        net = NetworkSim()
+        conn = net.connect(b"abcdefgh", b"tail")
+        assert net.recv(conn, 3) == b"abc"
+        # Mid-read: the split tail is the same message, not a new request.
+        assert net.pending(conn) == 2
+        assert net.unserved() == 1
+        assert net.partially_delivered() == 1
+        assert net.stats()["delivered"] == 0
+        assert net.recv(conn, 3) == b"def"
+        assert net.recv(conn, 64) == b"gh"
+        assert net.stats()["delivered"] == 1
+        assert net.partially_delivered() == 0
+        assert net.recv(conn, 64) == b"tail"
+        assert net.stats()["delivered"] == 2
+
+    def test_stats_separate_error_replies_from_errors(self):
+        """A served response after retries is not an error, even though
+        an ERROR_MARKER would be; the two streams are counted apart."""
+        net = NetworkSim(retry_limit=0)
+        conn = net.connect(b"bad")
+        raw = net.recv(conn, 64)
+        net.fail_request(conn, raw)
+        stats = net.stats()
+        assert stats["errors"] == 1
+        assert stats["error_replies"] == 1
+        assert stats["responses"] == 0
+        # A normal reply moves responses, not error_replies.
+        net.push(conn, b"good")
+        net.recv(conn, 64)
+        net.send(conn, b"ok")
+        stats = net.stats()
+        assert stats["responses"] == 1
+        assert stats["error_replies"] == 1
+
+    def test_per_conn_stats_breakdown(self):
+        net = NetworkSim()
+        healthy = net.connect(b"a", b"b")
+        broken = net.connect(b"bad")
+        for _ in range(2):
+            net.recv(healthy, 64)
+            net.send(healthy, b"ok")
+        raw = net.recv(broken, 64)
+        net.fail_request(broken, raw)
+        stats = net.stats(per_conn=True)
+        assert stats["responses"] == 2                 # aggregate intact
+        per = stats["per_conn"]
+        assert per[healthy]["responses"] == 2
+        assert per[healthy]["errors"] == 0
+        assert per[broken]["responses"] == 0
+        assert per[broken]["errors"] == 1
+        assert "per_conn" not in net.stats()           # opt-in only
+
 
 class TestChaosRuns:
     def test_chaos_report_is_seed_deterministic(self):

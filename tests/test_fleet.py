@@ -1,0 +1,367 @@
+"""Fleet lifecycle tests: breakers, crash loops, watchdog, restart cost,
+and campaign determinism."""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    CampaignConfig,
+    CircuitBreaker,
+    EnclaveWorker,
+    Request,
+    Balancer,
+    SLOTracker,
+    Supervisor,
+    run_campaign,
+)
+from repro.fleet import balancer as bal_mod
+from repro.fleet import supervisor as sup_mod
+from repro.sgx import ColdStartModel
+
+
+class _StubEnclave:
+    def __init__(self, pages):
+        self.pages = pages
+
+    def cold_start_cycles(self, model):
+        return model.restart_cycles(self.pages)
+
+
+class _StubVM:
+    def __init__(self, pages):
+        self.enclave = _StubEnclave(pages)
+
+
+class _StubWorker:
+    """Just enough worker for supervisor/balancer unit tests."""
+
+    def __init__(self, wid, pages=4):
+        self.wid = wid
+        self.vm = _StubVM(pages)
+        self.submitted = []
+
+    def submit(self, rid, payload):
+        self.submitted.append((rid, payload))
+
+
+class TestCircuitBreaker:
+    def test_closed_to_open_after_threshold(self):
+        b = CircuitBreaker(threshold=2, cooldown=10)
+        assert b.allow(0)
+        b.record_failure(0)
+        assert b.state == bal_mod.CLOSED
+        b.record_failure(1)
+        assert b.state == bal_mod.OPEN
+        assert b.opens == 1
+        assert not b.allow(5)                   # cooling down
+
+    def test_half_open_admits_single_probe(self):
+        b = CircuitBreaker(threshold=1, cooldown=10)
+        b.record_failure(0)                     # open until 10
+        assert b.allow(10)                      # cooldown over -> half-open
+        assert b.state == bal_mod.HALF_OPEN
+        b.on_dispatch()                         # the one probe in flight
+        assert not b.allow(11)                  # no second probe
+
+    def test_probe_success_closes(self):
+        b = CircuitBreaker(threshold=1, cooldown=10)
+        b.record_failure(0)
+        b.allow(10)
+        b.on_dispatch()
+        b.record_success()
+        assert b.state == bal_mod.CLOSED
+        assert b.allow(11)
+
+    def test_probe_failure_reopens(self):
+        b = CircuitBreaker(threshold=3, cooldown=10)
+        b.record_failure(0)
+        b.record_failure(0)
+        b.record_failure(0)                     # open (threshold)
+        b.allow(10)
+        b.on_dispatch()
+        b.record_failure(12)                    # probe failed: reopen now
+        assert b.state == bal_mod.OPEN
+        assert b.opens == 2
+        assert not b.allow(15)
+        assert b.allow(22)                      # 12 + cooldown
+
+    def test_success_resets_failure_streak(self):
+        b = CircuitBreaker(threshold=3, cooldown=10)
+        b.record_failure(0)
+        b.record_failure(1)
+        b.record_success()
+        b.record_failure(2)
+        b.record_failure(3)
+        assert b.state == bal_mod.CLOSED        # streak broken, never 3
+
+
+class TestSupervisorLifecycle:
+    def _sup(self, **kw):
+        kw.setdefault("cold_start", ColdStartModel())
+        kw.setdefault("tick_cycles", 5_000)
+        return Supervisor([0, 1], **kw)
+
+    def test_starting_promotes_to_healthy(self):
+        sup = self._sup(startup_ticks=1)
+        assert sup.status(0) == sup_mod.STARTING
+        assert not sup.dispatchable(0)
+        assert sup.running(0)                   # VM executes while booting
+        sup.tick(0)
+        assert sup.status(0) == sup_mod.STARTING
+        sup.tick(1)
+        assert sup.status(0) == sup_mod.HEALTHY
+        assert sup.dispatchable(0)
+
+    def test_outcomes_degrade_and_restore(self):
+        sup = self._sup(startup_ticks=0)
+        sup.tick(0)
+        sup.on_outcome(0, "error")
+        assert sup.status(0) == sup_mod.DEGRADED
+        assert sup.dispatchable(0)              # degraded still serves
+        sup.on_outcome(0, "served")
+        assert sup.status(0) == sup_mod.HEALTHY
+
+    def test_restart_cost_lands_on_the_tick_clock(self):
+        """ready_at reflects cold_start_cycles / tick_cycles: the crash's
+        working set is paid down in simulated time, not instantly."""
+        sup = self._sup(startup_ticks=0)
+        sup.tick(0)
+        worker = _StubWorker(0, pages=4)
+        cost = sup.on_crash(worker, now=10, reason="BoundsViolation")
+        # build 120k + attestation 60k + 4 pages * 30k = 300k cycles.
+        assert cost == 300_000
+        record = sup.records[0]
+        assert record.status == sup_mod.RESTARTING
+        assert record.ready_at == 10 + 60       # 300k / 5k ticks
+        assert sup.summary()["restart_cycles"] == 300_000
+        # Not dispatchable until the replacement has cold-started.
+        assert sup.tick(50) == []
+        assert not sup.dispatchable(0)
+        assert sup.tick(70) == [0]              # reboot fires
+        assert sup.status(0) == sup_mod.STARTING
+        sup.tick(70)
+        assert sup.status(0) == sup_mod.HEALTHY
+
+    def test_scaled_rewarm_stretches_downtime(self):
+        cheap = self._sup(startup_ticks=0)
+        dear = self._sup(startup_ticks=0, rewarm_scale=8.0)
+        cheap.on_crash(_StubWorker(0, pages=8), now=0, reason="X")
+        dear.on_crash(_StubWorker(0, pages=8), now=0, reason="X")
+        assert dear.records[0].ready_at > cheap.records[0].ready_at
+        assert dear.total_restart_cycles > cheap.total_restart_cycles
+
+    def test_bigger_working_set_costs_more(self):
+        sup = self._sup(startup_ticks=0)
+        small = sup.on_crash(_StubWorker(0, pages=2), now=0, reason="X")
+        large = sup.on_crash(_StubWorker(1, pages=64), now=0, reason="X")
+        assert large > small
+
+    def test_crash_loop_marks_dead(self):
+        sup = self._sup(startup_ticks=0, crash_loop_k=3,
+                        crash_loop_window=60)
+        worker = _StubWorker(0)
+        assert sup.on_crash(worker, now=0, reason="X") is not None
+        assert sup.on_crash(worker, now=5, reason="X") is not None
+        assert sup.on_crash(worker, now=9, reason="X") is None
+        assert sup.status(0) == sup_mod.DEAD
+        assert sup.deaths == 1
+        assert sup.alive_count() == 1
+        # Dead workers never reboot.
+        assert sup.tick(1_000) == []
+        assert sup.status(0) == sup_mod.DEAD
+
+    def test_spread_out_crashes_stay_alive(self):
+        sup = self._sup(startup_ticks=0, crash_loop_k=3,
+                        crash_loop_window=5)
+        worker = _StubWorker(0)
+        for now in (0, 10, 20, 30):
+            assert sup.on_crash(worker, now=now, reason="X") is not None
+        assert sup.deaths == 0
+
+
+class TestBalancer:
+    def _fleet(self, n=2, **kw):
+        sup = Supervisor(range(n), cold_start=ColdStartModel(),
+                         startup_ticks=0)
+        sup.tick(0)                             # everyone healthy
+        workers = [_StubWorker(wid) for wid in range(n)]
+        return workers, sup, Balancer(workers, sup, **kw)
+
+    def test_round_robin_alternates(self):
+        workers, _, bal = self._fleet(queue_cap=1)
+        for rid in range(4):
+            bal.offer(Request(rid, b"x", arrival=0))
+        bal.dispatch(0)
+        assert [r for r, _ in workers[0].submitted] == [0]
+        assert [r for r, _ in workers[1].submitted] == [1]
+
+    def test_least_outstanding_prefers_idle(self):
+        workers, _, bal = self._fleet(policy="least-outstanding",
+                                      queue_cap=2)
+        bal.offer(Request(0, b"x", arrival=0))
+        bal.dispatch(0)
+        assert workers[0].submitted             # lowest wid on a tie
+        bal.offer(Request(1, b"x", arrival=0))
+        bal.dispatch(0)
+        assert workers[1].submitted             # 0 is busy, 1 idle
+
+    def test_crash_retries_then_fails(self):
+        workers, sup, bal = self._fleet(max_attempts=2)
+        bal.offer(Request(7, b"x", arrival=0))
+        bal.dispatch(0)
+        sup.on_crash(workers[0], 1, "X")
+        assert bal.on_worker_crash(0, 7, 1) == []   # retried, not failed
+        assert bal.pending[0].attempts == 1
+        bal.dispatch(2)                         # worker 0 down -> worker 1
+        assert workers[1].submitted == [(7, b"x")]
+        sup.on_crash(workers[1], 3, "X")
+        terminal = bal.on_worker_crash(1, 7, 3)
+        assert [r.status for r in terminal] == ["failed"]
+        assert terminal[0].detail == "crash; retries exhausted"
+
+    def test_hedged_requeue_preserves_order(self):
+        workers, sup, bal = self._fleet(n=1, queue_cap=3,
+                                        hedge_stranded=True)
+        for rid in range(3):
+            bal.offer(Request(rid, b"x", arrival=0))
+        bal.dispatch(0)                         # rid 0 in flight, 1-2 queued
+        sup.on_crash(workers[0], 1, "X")
+        bal.on_worker_crash(0, 0, 1)
+        # Queued requests keep their relative order at the front; the
+        # retried in-flight request (which consumed an attempt) follows.
+        assert [r.rid for r in bal.pending] == [1, 2, 0]
+
+    def test_deadline_expires_only_waiting_requests(self):
+        workers, _, bal = self._fleet(n=1, queue_cap=2)
+        old = Request(0, b"x", arrival=0)
+        young = Request(1, b"x", arrival=50)
+        bal.offer(old)
+        bal.offer(young)
+        bal.dispatch(55)                        # old in flight, young queued
+        assert bal.expire(60, deadline_ticks=60) == []
+        expired = bal.expire(110, deadline_ticks=60)
+        assert expired == [young]
+        assert young.detail == "deadline"
+        # old is in flight: the worker is serving it, so it never expires.
+        assert old.status is None
+        assert bal.inflight[0] is old
+
+    def test_open_breaker_blocks_dispatch(self):
+        workers, _, bal = self._fleet(n=2, breaker_threshold=1,
+                                      breaker_cooldown=100)
+        bal.breakers[0].record_failure(0)       # worker 0 tripped
+        for rid in range(2):
+            bal.offer(Request(rid, b"x", arrival=0))
+        bal.dispatch(1)
+        assert not workers[0].submitted
+        assert [r for r, _ in workers[1].submitted] == [0]
+
+
+class TestSLOTracker:
+    def _done(self, rid, status, arrival, completed):
+        req = Request(rid, b"", arrival)
+        req.status = status
+        req.completed_at = completed
+        return req
+
+    def test_summary_accounting(self):
+        slo = SLOTracker(tick_cycles=5_000)
+        slo.on_submitted(4)
+        slo.on_terminal(self._done(0, "served", 0, 0))
+        slo.on_terminal(self._done(1, "served", 0, 9))
+        slo.on_terminal(self._done(2, "error", 0, 1))
+        slo.on_terminal(self._done(3, "failed", 0, 2))
+        summary = slo.summary()
+        assert summary["submitted"] == 4
+        assert summary["served"] == 2
+        assert summary["error_replies"] == 1
+        assert summary["failed"] == 1
+        assert summary["availability"] == 0.5
+        # 1 tick -> 5k cycles, 10 ticks -> 50k; p99 covers the slow one.
+        assert summary["latency_p50_cycles"] >= 5_000
+        assert summary["latency_p99_cycles"] >= 50_000
+
+    def test_no_served_requests_has_no_percentiles(self):
+        slo = SLOTracker(tick_cycles=5_000)
+        slo.on_submitted(1)
+        slo.on_terminal(self._done(0, "failed", 0, 5))
+        summary = slo.summary()
+        assert summary["availability"] == 0.0
+        assert summary["latency_p99_cycles"] is None
+
+
+class TestWorkerServes:
+    def test_blocking_worker_serves_one_request(self):
+        from repro.harness.chaos import PROFILES
+        from repro.harness.experiments import APP_CONFIG
+        from repro.minic import compile_source
+
+        profile = PROFILES["memcached"]
+        mod = profile.module
+        module = compile_source(mod.SOURCE, "memcached")
+        worker = EnclaveWorker(0, module, "sgxbounds",
+                               policy="drop-request", config=APP_CONFIG)
+        payload = mod.workload(mod.SIZES["XS"])[0]
+        worker.submit(42, payload)
+        outcomes = []
+        for _ in range(200):
+            outcomes.extend(worker.run_tick(5_000).outcomes)
+            if outcomes:
+                break
+        assert outcomes == [(42, "served")]
+        assert worker.outstanding == 0
+        assert worker.served == 1
+
+
+class TestCampaigns:
+    def test_seeded_campaigns_are_byte_identical(self):
+        config = CampaignConfig(policy="abort", workers=2, fault_rate=0.2,
+                                seed=77, size="XS")
+        a = json.dumps(run_campaign(config).as_dict(), sort_keys=True)
+        b = json.dumps(run_campaign(config).as_dict(), sort_keys=True)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        base = CampaignConfig(policy="abort", workers=2, fault_rate=0.2,
+                              seed=77, size="XS")
+        other = CampaignConfig(policy="abort", workers=2, fault_rate=0.2,
+                               seed=78, size="XS")
+        a = json.dumps(run_campaign(base).as_dict(), sort_keys=True)
+        b = json.dumps(run_campaign(other).as_dict(), sort_keys=True)
+        assert a != b
+
+    def test_watchdog_kills_hung_worker(self):
+        config = CampaignConfig(policy="drop-request", workers=2,
+                                fault_rate=0.0, seed=5, size="XS",
+                                watchdog_budget=20_000,
+                                hang=(3, 0, 1_000_000))
+        result = run_campaign(config)
+        assert result.watchdog_kills >= 1
+        reasons = result.supervisor["per_worker"][0]["crash_reasons"]
+        assert "WatchdogTimeout" in reasons
+        # The fleet route[s] around the hang: traffic still gets served.
+        assert result.slo["served"] > 0
+
+    def test_abort_pays_restarts_drop_request_does_not(self):
+        kw = dict(workers=2, fault_rate=0.2, seed=1234, size="XS")
+        abort = run_campaign(CampaignConfig(policy="abort", **kw))
+        drop = run_campaign(CampaignConfig(policy="drop-request", **kw))
+        assert abort.crashes > 0
+        assert abort.supervisor["restart_cycles"] > 0
+        assert drop.crashes == 0
+        assert drop.supervisor["restart_cycles"] == 0
+        assert drop.slo["availability"] > abort.slo["availability"]
+
+    def test_restart_cost_scales_with_rewarm(self):
+        kw = dict(policy="abort", workers=2, fault_rate=0.2, seed=1234,
+                  size="XS")
+        cheap = run_campaign(CampaignConfig(rewarm_scale=1.0, **kw))
+        dear = run_campaign(CampaignConfig(rewarm_scale=8.0, **kw))
+        assert dear.supervisor["restart_cycles"] \
+            > cheap.supervisor["restart_cycles"]
+        assert dear.slo["availability"] < cheap.slo["availability"]
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet app"):
+            run_campaign(CampaignConfig(app="postgres"))

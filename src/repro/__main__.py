@@ -11,10 +11,14 @@ Usage::
 
 Any experiment accepts ``--trace-out``/``--metrics-out``: the run then
 executes with telemetry attached and exports a Chrome-loadable trace and
-a metrics-registry snapshot.  ``profile`` additionally computes the
-per-function scheme-vs-native overhead attribution (the paper's Table-3
+a metrics-registry snapshot.  ``--log-out`` does the same with a
+forensics flight recorder (structured event log, JSONL or text by file
+extension).  ``profile`` additionally computes the per-function
+scheme-vs-native overhead attribution (the paper's Table-3
 decomposition) and, with ``--results-out``, drops a machine-readable
-result into ``benchmarks/results/``.
+result into ``benchmarks/results/``.  ``postmortem <app>`` runs a seeded
+fleet chaos campaign with forensics attached and prints the first crash
+postmortem (decoded faulting pointer, MiniC stack, correlated events).
 """
 
 from __future__ import annotations
@@ -43,6 +47,69 @@ EXPERIMENTS = {
 #: Experiments whose stdout must be byte-identical across runs (CI diffs
 #: them); their wall-clock timing line goes to stderr instead.
 _STDERR_TIMING = {"fleet"}
+
+
+def _postmortem(args) -> int:
+    """``python -m repro postmortem <app>`` — seeded crash forensics.
+
+    Runs one fleet chaos campaign (abort policy by default, so faults
+    crash workers) with a flight recorder attached and prints the first
+    captured postmortem.  Stdout is byte-identical per seed; the timing
+    line goes to stderr so CI can diff two runs.
+    """
+    from repro import forensics as forensics_mod
+    from repro.fleet.campaign import CampaignConfig, run_campaign
+    from repro.telemetry import results as results_mod
+
+    targets = args.experiments[1:] or ["memcached"]
+    for target in targets:
+        started = time.time()
+        forensics = forensics_mod.Forensics()
+        config = CampaignConfig(
+            app=target, scheme="sgxbounds", policy=args.policy or "abort",
+            workers=args.workers, fault_rate=args.fault_rate,
+            seed=args.seed, size=args.size, balance=args.balance)
+        try:
+            result = run_campaign(config, forensics=forensics)
+        except ValueError as err:
+            print(f"postmortem: {err}", file=sys.stderr)
+            return 2
+        summary = forensics.summary()
+        slo = result.slo
+        print(f"== postmortem {target} (scheme={config.scheme} "
+              f"policy={config.policy} seed={config.seed} "
+              f"fault_rate={config.fault_rate}) ==")
+        print(f"campaign: ticks={result.ticks} crashes={result.crashes} "
+              f"watchdog_kills={result.watchdog_kills} "
+              f"submitted={slo['submitted']} served={slo['served']} "
+              f"failed={slo['failed']}")
+        print(f"flight recorder: {summary['events_recorded']} events "
+              f"({summary['events_retained']} retained, "
+              f"{summary['events_dropped']} dropped)")
+        alerts = summary["alerts"]
+        by_detector = " ".join(
+            f"{name}={count}"
+            for name, count in sorted(alerts["by_detector"].items()))
+        print(f"alerts: total={alerts['total']}"
+              + (f" {by_detector}" if by_detector else ""))
+        print(f"postmortems: {summary['postmortems']} captured, "
+              f"{summary['postmortems_dropped']} dropped")
+        if forensics.postmortems:
+            print()
+            print(forensics_mod.render_postmortem(forensics.postmortems[0]))
+        if args.results_out:
+            document = results_mod.result_document(
+                f"postmortem_{target}",
+                {"campaign": result.as_dict(),
+                 "postmortems": forensics.postmortems})
+            results_mod.write_json(args.results_out, document)
+            print(f"[results -> {args.results_out}]")
+        if args.log_out:
+            forensics.write_log(args.log_out)
+            print(f"[log -> {args.log_out}]")
+        print(f"[postmortem {target}: {time.time() - started:.1f}s]",
+              file=sys.stderr)
+    return 0
 
 
 def _chaos(args):
@@ -141,24 +208,37 @@ def main(argv=None) -> int:
                         help="export the metrics-registry snapshot (for "
                              "'profile': the full attribution) as JSON")
     parser.add_argument("--results-out", default=None, metavar="PATH",
-                        help="profile only: also write the versioned "
+                        help="profile/postmortem: also write the versioned "
                              "result document (benchmarks/results/*.json)")
+    parser.add_argument("--log-out", default=None, metavar="PATH",
+                        help="attach a forensics flight recorder and export "
+                             "the event log (.jsonl = JSONL, else text)")
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  profile <experiment|workload>")
+        print("  postmortem <app>")
         return 0
 
     if args.experiments[0] == "profile":
         return _profile(args)
+
+    if args.experiments[0] == "postmortem":
+        return _postmortem(args)
 
     telemetry = None
     if args.trace_out or args.metrics_out:
         from repro import telemetry as telemetry_mod
         telemetry = telemetry_mod.Telemetry()
         telemetry_mod.set_default(telemetry)
+
+    forensics = None
+    if args.log_out:
+        from repro import forensics as forensics_mod
+        forensics = forensics_mod.Forensics()
+        forensics_mod.set_default(forensics)
 
     wanted = list(EXPERIMENTS) if args.experiments == ["all"] \
         else args.experiments
@@ -187,6 +267,11 @@ def main(argv=None) -> int:
             results_mod.write_json(args.metrics_out,
                                    telemetry.metrics_snapshot())
             print(f"[metrics -> {args.metrics_out}]")
+    if forensics is not None:
+        from repro import forensics as forensics_mod
+        forensics_mod.set_default(None)
+        forensics.write_log(args.log_out)
+        print(f"[log -> {args.log_out}]")
     return 0
 
 

@@ -97,7 +97,7 @@ class Balancer:
                  policy: str = ROUND_ROBIN, queue_cap: int = 2,
                  max_attempts: int = 2, hedge_stranded: bool = True,
                  breaker_threshold: int = 3, breaker_cooldown: int = 25,
-                 telemetry=None):
+                 telemetry=None, forensics=None):
         if policy not in POLICIES:
             raise ValueError(f"unknown balance policy {policy!r}; "
                              f"expected one of {POLICIES}")
@@ -110,6 +110,8 @@ class Balancer:
         self.hedge_stranded = hedge_stranded
         self.telemetry = telemetry \
             if (telemetry is not None and telemetry.enabled) else None
+        self.forensics = forensics \
+            if (forensics is not None and forensics.enabled) else None
         self.pending: Deque[Request] = deque()
         self.queues: Dict[int, Deque[Request]] = {
             wid: deque() for wid in self.order}
@@ -192,9 +194,11 @@ class Balancer:
         else:
             was_open = breaker.state == OPEN
             breaker.record_failure(now)
-            if breaker.state == OPEN and not was_open \
-                    and self.telemetry is not None:
-                self.telemetry.fleet_event("breaker_open", wid, now)
+            if breaker.state == OPEN and not was_open:
+                if self.telemetry is not None:
+                    self.telemetry.fleet_event("breaker_open", wid, now)
+                if self.forensics is not None:
+                    self.forensics.fleet_event("breaker_open", now, wid=wid)
         self.supervisor.on_outcome(wid, status)
         request.status = status
         request.completed_at = now
@@ -210,9 +214,11 @@ class Balancer:
         breaker = self.breakers[wid]
         was_open = breaker.state == OPEN
         breaker.record_failure(now)
-        if breaker.state == OPEN and not was_open \
-                and self.telemetry is not None:
-            self.telemetry.fleet_event("breaker_open", wid, now)
+        if breaker.state == OPEN and not was_open:
+            if self.telemetry is not None:
+                self.telemetry.fleet_event("breaker_open", wid, now)
+            if self.forensics is not None:
+                self.forensics.fleet_event("breaker_open", now, wid=wid)
         request = self.inflight.pop(wid, None)
         if request is not None:
             if stranded_rid is not None and request.rid != stranded_rid:
@@ -221,6 +227,9 @@ class Balancer:
                     f"but rid {request.rid} was in flight")
             if request.attempts < self.max_attempts:
                 self.pending.appendleft(request)
+                if self.forensics is not None:
+                    self.forensics.fleet_event("request_requeued", now,
+                                               wid=wid, rid=request.rid)
             else:
                 request.status = "failed"
                 request.detail = "crash; retries exhausted"
@@ -269,6 +278,9 @@ class Balancer:
                     request.detail = "deadline"
                     request.completed_at = now
                     expired.append(request)
+                    if self.forensics is not None:
+                        self.forensics.fleet_event("request_expired", now,
+                                                   rid=request.rid)
                 else:
                     kept.append(request)
             return kept

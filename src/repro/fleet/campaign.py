@@ -83,10 +83,13 @@ class CampaignResult:
     worker_cycles: int = 0
     fuzzed_requests: int = 0
     events: List[Tuple[int, str, int, str]] = field(default_factory=list)
+    #: Forensics summary; None (and absent from :meth:`as_dict`) unless a
+    #: flight recorder was attached, so default output stays byte-stable.
+    forensics: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         cfg = self.config
-        return {
+        out = {
             "config": {
                 "app": cfg.app, "scheme": cfg.scheme, "policy": cfg.policy,
                 "workers": cfg.workers, "fault_rate": cfg.fault_rate,
@@ -106,6 +109,9 @@ class CampaignResult:
             "fuzzed_requests": self.fuzzed_requests,
             "events": [list(e) for e in self.events],
         }
+        if self.forensics is not None:
+            out["forensics"] = self.forensics
+        return out
 
 
 def _profile(app: str):
@@ -118,13 +124,19 @@ def _profile(app: str):
     return PROFILES[app]
 
 
-def run_campaign(config: CampaignConfig, telemetry=None) -> CampaignResult:
+def run_campaign(config: CampaignConfig, telemetry=None,
+                 forensics=None) -> CampaignResult:
     """Run one seeded campaign to completion; deterministic end to end."""
+    from repro import forensics as forensics_mod
     from repro import telemetry as telemetry_mod
     from repro.harness.experiments import APP_CONFIG
 
     telemetry = telemetry if telemetry is not None \
         else telemetry_mod.get_default()
+    forensics = forensics if forensics is not None \
+        else forensics_mod.get_default()
+    if forensics is not None and not forensics.enabled:
+        forensics = None
     profile = _profile(config.app)
     mod = profile.module
     requests = mod.workload(mod.SIZES[config.size])
@@ -153,7 +165,7 @@ def run_campaign(config: CampaignConfig, telemetry=None) -> CampaignResult:
                       watchdog_budget=config.watchdog_budget,
                       epc_spike_rate=config.epc_spike_rate,
                       faults_seed=derive(config.seed, "fleet-epc"),
-                      telemetry=telemetry)
+                      telemetry=telemetry, forensics=forensics)
         for wid in range(config.workers)]
     supervisor = Supervisor(
         [w.wid for w in workers],
@@ -162,17 +174,19 @@ def run_campaign(config: CampaignConfig, telemetry=None) -> CampaignResult:
         tick_cycles=config.tick_cycles,
         crash_loop_k=config.crash_loop_k,
         crash_loop_window=config.crash_loop_window,
-        telemetry=telemetry)
+        telemetry=telemetry, forensics=forensics)
     balancer = Balancer(workers, supervisor, policy=config.balance,
                         queue_cap=config.queue_cap,
                         max_attempts=config.max_attempts,
                         hedge_stranded=config.hedge_stranded,
                         breaker_threshold=config.breaker_threshold,
                         breaker_cooldown=config.breaker_cooldown,
-                        telemetry=telemetry)
+                        telemetry=telemetry, forensics=forensics)
     registry = telemetry.registry \
         if (telemetry is not None and telemetry.enabled) else None
-    slo = SLOTracker(config.tick_cycles, registry=registry)
+    slo = SLOTracker(config.tick_cycles, registry=registry,
+                     anomalies=forensics.monitor
+                     if forensics is not None else None)
     result = CampaignResult(config)
 
     arrivals = iter(enumerate(requests))
@@ -200,6 +214,9 @@ def run_campaign(config: CampaignConfig, telemetry=None) -> CampaignResult:
             if supervisor.running(wid):
                 workers[wid].inject_hang(config.hang[2])
                 result.events.append((now, "hang_injected", wid, ""))
+                if forensics is not None:
+                    forensics.fleet_event("hang_injected", now, wid=wid,
+                                          ticks=config.hang[2])
         # 3. Supervisor timers (promotions + reboots).
         for wid in supervisor.tick(now):
             workers[wid].boot()
@@ -228,6 +245,15 @@ def run_campaign(config: CampaignConfig, telemetry=None) -> CampaignResult:
         # 6. Client deadlines: queued requests past their patience fail.
         for req in balancer.expire(now, config.deadline_ticks):
             slo.on_terminal(req)
+        if forensics is not None:
+            forensics.monitor.observe_tick(
+                now,
+                epc_faults_total=sum(
+                    w.total_epc_faults + w.vm.counters.epc_faults
+                    for w in workers),
+                p95=slo.latency.percentile_bucket(0.95)
+                if slo.served else None,
+                served=slo.served)
         # 7. Termination: all traffic is in, nothing left in the system.
         if exhausted and balancer.in_system() == 0:
             now += 1
@@ -243,6 +269,8 @@ def run_campaign(config: CampaignConfig, telemetry=None) -> CampaignResult:
     result.supervisor = supervisor.summary()
     result.breaker_opens = balancer.breaker_opens()
     result.worker_cycles = sum(w.total_cycles + w.cycles() for w in workers)
+    if forensics is not None:
+        result.forensics = forensics.summary()
     if registry is not None:
         registry.gauge("fleet.availability").set(
             result.slo["availability"])

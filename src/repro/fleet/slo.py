@@ -23,8 +23,11 @@ LATENCY_BOUNDS = exponential_bounds(start=1_000, factor=2, count=21)
 class SLOTracker:
     """Prices terminal requests into availability + latency quantiles."""
 
-    def __init__(self, tick_cycles: int, registry=None):
+    def __init__(self, tick_cycles: int, registry=None, anomalies=None):
         self.tick_cycles = tick_cycles
+        #: Optional ``repro.forensics.anomaly.AnomalyMonitor``; when
+        #: attached its alert tallies surface in :meth:`summary`.
+        self.anomalies = anomalies
         if registry is not None:
             self.latency = registry.histogram("fleet.latency_cycles",
                                               LATENCY_BOUNDS)
@@ -58,7 +61,7 @@ class SLOTracker:
 
     def summary(self) -> Dict[str, object]:
         served = self.served
-        return {
+        out = {
             "submitted": self.submitted,
             "served": served,
             "error_replies": self.error_replies,
@@ -73,3 +76,8 @@ class SLOTracker:
             "latency_mean_cycles": (self.latency.total / served)
             if served else None,
         }
+        if self.anomalies is not None:
+            # Only when forensics is attached, so default summaries stay
+            # byte-identical with the detector absent.
+            out["alerts"] = self.anomalies.summary()
+        return out

@@ -59,7 +59,8 @@ class Supervisor:
     def __init__(self, worker_ids, cold_start: Optional[ColdStartModel] = None,
                  rewarm_scale: float = 1.0, tick_cycles: int = 5_000,
                  startup_ticks: int = 1, crash_loop_k: int = 3,
-                 crash_loop_window: int = 60, telemetry=None):
+                 crash_loop_window: int = 60, telemetry=None,
+                 forensics=None):
         model = cold_start or ColdStartModel()
         self.model = model.scaled(rewarm_scale) \
             if rewarm_scale != model.rewarm_scale else model
@@ -69,6 +70,8 @@ class Supervisor:
         self.crash_loop_window = crash_loop_window
         self.telemetry = telemetry \
             if (telemetry is not None and telemetry.enabled) else None
+        self.forensics = forensics \
+            if (forensics is not None and forensics.enabled) else None
         self.records: Dict[int, WorkerRecord] = {
             wid: WorkerRecord() for wid in worker_ids}
         for record in self.records.values():
@@ -105,6 +108,8 @@ class Supervisor:
         record.status = CRASHED
         record.crash_ticks.append(now)
         record.crash_reasons.append(reason)
+        if self.forensics is not None:
+            self.forensics.fleet_crash(now, worker.wid, reason)
         recent = [t for t in record.crash_ticks
                   if now - t <= self.crash_loop_window]
         if len(recent) >= self.crash_loop_k:
@@ -113,6 +118,9 @@ class Supervisor:
             if self.telemetry is not None:
                 self.telemetry.fleet_event("dead", worker.wid, now,
                                            detail=reason)
+            if self.forensics is not None:
+                self.forensics.fleet_event("worker_dead", now,
+                                           wid=worker.wid, reason=reason)
             return None
         cost = worker.vm.enclave.cold_start_cycles(self.model)
         record.restarts += 1
@@ -138,6 +146,9 @@ class Supervisor:
                 boots.append(wid)
                 if self.telemetry is not None:
                     self.telemetry.fleet_event("restart", wid, now)
+                if self.forensics is not None:
+                    self.forensics.fleet_event("worker_restart", now,
+                                               wid=wid)
             elif record.status == STARTING and now >= record.ready_at:
                 record.status = HEALTHY
         return boots

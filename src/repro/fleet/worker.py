@@ -63,7 +63,8 @@ class EnclaveWorker:
                  policy: Optional[str] = None, config=None,
                  scheme_kwargs=None, watchdog_budget: int = 200_000,
                  epc_spike_rate: float = 0.0,
-                 faults_seed: Optional[int] = None, telemetry=None):
+                 faults_seed: Optional[int] = None, telemetry=None,
+                 forensics=None):
         self.wid = wid
         self.module = module              # compiled, uninstrumented base
         self.scheme_name = scheme_name
@@ -74,11 +75,14 @@ class EnclaveWorker:
         self.epc_spike_rate = epc_spike_rate
         self.faults_seed = faults_seed
         self.telemetry = telemetry
+        self.forensics = forensics \
+            if (forensics is not None and forensics.enabled) else None
         self.incarnations = 0
         self.served = 0
         self.error_replies = 0
         self.crashes = 0
         self.total_cycles = 0             # summed over dead incarnations
+        self.total_epc_faults = 0         # likewise (anomaly detection)
         self.vm = None
         self.boot()
 
@@ -89,9 +93,17 @@ class EnclaveWorker:
         vm, scheme = build_server_vm(
             self.module, self.scheme_name, config=self.config,
             scheme_kwargs=self.scheme_kwargs, policy=self.policy,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry, forensics=self.forensics)
         vm.net_blocking = True
         vm.net = NetworkSim()
+        vm.worker_id = self.wid
+        if self.forensics is not None:
+            # The balancer's rid is the request identity fleet-wide; the
+            # worker stamps it at submit, so recv must not overwrite it
+            # with the NetworkSim message id.
+            vm.external_rids = True
+            vm.net.forensics = self.forensics
+            vm.net.clock = (lambda v=vm: v.counters.instructions)
         if self.epc_spike_rate > 0.0 and self.faults_seed is not None:
             # Noisy-neighbour analog: a co-tenant occasionally thrashes
             # the shared EPC; seeded per incarnation so restarts do not
@@ -107,6 +119,7 @@ class EnclaveWorker:
         self.scheme = scheme
         self.inflight: Optional[Tuple[int, bytes]] = None
         self.last_error: Optional[Exception] = None
+        self._fault_thread = None
         self._dispatch_instr = 0
         self._sent_seen = 0
         self._hang_ticks = 0
@@ -126,7 +139,13 @@ class EnclaveWorker:
         self.inflight = (rid, payload)
         self._sent_seen = len(vm.net.sent(self.conn))
         self._dispatch_instr = vm.counters.instructions
-        vm.net.push(self.conn, payload)
+        mid = vm.net.push(self.conn, payload)
+        if self.forensics is not None:
+            vm.request_id = rid
+            vm.request_payload = payload
+            self.forensics.record(
+                "dispatch", ts=vm.counters.instructions, cat="fleet",
+                rid=rid, wid=self.wid, conn=self.conn, mid=mid)
         vm.unblock_net_waiters(self.conn)
 
     def inject_hang(self, ticks: int) -> None:
@@ -158,6 +177,7 @@ class EnclaveWorker:
                 vm.current = None
                 if not vm._recover_request(thread, drop.violation):
                     self.last_error = drop.violation
+                    self._fault_thread = thread
                     return self._crash_report(
                         type(drop.violation).__name__, outcomes)
             except (SegmentationFault, ControlFlowHijack, TrapError) as err:
@@ -165,15 +185,19 @@ class EnclaveWorker:
                 if (vm.scheme.policy != violation_policy.DROP_REQUEST
                         or not vm._recover_request(thread, err)):
                     self.last_error = err
+                    self._fault_thread = thread
                     return self._crash_report(type(err).__name__, outcomes)
             except OutOfMemory as err:
                 self.last_error = err
+                self._fault_thread = thread
                 return self._crash_report("OOM", outcomes)
             except ReproError as err:
                 self.last_error = err
+                self._fault_thread = thread
                 return self._crash_report(type(err).__name__, outcomes)
             outcomes.extend(self._drain_replies())
             if self._watchdog_fired():
+                self._fault_thread = thread
                 return self._crash_report("WatchdogTimeout", outcomes)
         outcomes.extend(self._drain_replies())
         return TickReport(outcomes)
@@ -209,6 +233,14 @@ class EnclaveWorker:
                       outcomes: List[Tuple[int, str]]) -> TickReport:
         self.crashes += 1
         self.total_cycles += self.vm.enclave.cycles()
+        self.total_epc_faults += self.vm.counters.epc_faults
         stranded = self.inflight[0] if self.inflight is not None else None
+        if (self.forensics is not None and self.last_error is not None
+                and not getattr(self.last_error,
+                                "_postmortem_captured", False)):
+            payload = self.inflight[1] if self.inflight is not None else None
+            self.forensics.capture(
+                self.vm, self.last_error, reason=reason, rid=stranded,
+                payload=payload, wid=self.wid, thread=self._fault_thread)
         self.inflight = None
         return TickReport(outcomes, crash=reason, stranded=stranded)

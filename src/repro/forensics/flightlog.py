@@ -1,0 +1,135 @@
+"""The flight recorder: a bounded, deterministic ring buffer of events.
+
+Every record is typed (``kind``) and categorized (``cat``), carries the
+simulated timestamp it was produced at (``ts`` — retired instructions for
+VM-side events, campaign ticks for fleet-side events, as noted per kind),
+and optionally the originating request id (``rid``) and worker id
+(``wid``) so one request can be followed from Balancer dispatch through
+NetworkSim into the worker VM and back out as a reply, a retry, or a
+postmortem.
+
+The buffer is a ring: past ``capacity`` the oldest records are evicted
+and counted in :attr:`FlightRecorder.dropped` — a campaign can emit
+millions of events without unbounded memory, and the last-N window a
+postmortem snapshots is always intact.  Nothing here reads wall clocks
+or charges simulated counters, so attaching a recorder never changes a
+benchmark number and two identical seeded runs produce byte-identical
+logs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+#: Default ring capacity (records, not bytes).
+DEFAULT_CAPACITY = 4096
+
+
+class EventRecord:
+    """One typed entry in the flight recorder."""
+
+    __slots__ = ("seq", "ts", "kind", "cat", "rid", "wid", "detail")
+
+    def __init__(self, seq: int, ts: int, kind: str, cat: str,
+                 rid: Optional[int], wid: Optional[int],
+                 detail: Dict[str, object]):
+        self.seq = seq          # global emission order, never reused
+        self.ts = ts            # simulated clock (instructions or ticks)
+        self.kind = kind        # record type ("dispatch", "epc_fault", ...)
+        self.cat = cat          # subsystem ("fleet", "net", "epc", ...)
+        self.rid = rid          # originating request id, if correlated
+        self.wid = wid          # fleet worker id, if any
+        self.detail = detail    # kind-specific fields (plain JSON values)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+            "cat": self.cat,
+            "rid": self.rid,
+            "wid": self.wid,
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        """One deterministic text line (``detail`` keys sorted)."""
+        rid = "-" if self.rid is None else str(self.rid)
+        wid = "-" if self.wid is None else str(self.wid)
+        detail = " ".join(f"{key}={self.detail[key]}"
+                          for key in sorted(self.detail))
+        text = (f"#{self.seq:06d} ts={self.ts:>12} rid={rid:>6} "
+                f"wid={wid:>2} [{self.cat}] {self.kind}")
+        return f"{text} {detail}" if detail else text
+
+
+class FlightRecorder:
+    """Bounded ring of :class:`EventRecord`, filterable and renderable."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = max(1, capacity)
+        self._ring: Deque[EventRecord] = deque(maxlen=self.capacity)
+        self.total = 0          # records ever emitted (incl. evicted)
+        self._seq = 0
+
+    # -- recording ------------------------------------------------------
+    def record(self, kind: str, ts: int = 0, cat: str = "",
+               rid: Optional[int] = None, wid: Optional[int] = None,
+               **detail: object) -> EventRecord:
+        record = EventRecord(self._seq, ts, kind, cat, rid, wid, detail)
+        self._seq += 1
+        self.total += 1
+        self._ring.append(record)
+        return record
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring bound."""
+        return self.total - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.total = 0
+        self._seq = 0
+
+    # -- querying -------------------------------------------------------
+    def events(self, kind: Optional[str] = None, cat: Optional[str] = None,
+               rid: Optional[int] = None, wid: Optional[int] = None,
+               last: Optional[int] = None) -> List[EventRecord]:
+        """Records matching every given filter, oldest first; ``last``
+        keeps only the newest N of the matches."""
+        out = [r for r in self._ring
+               if (kind is None or r.kind == kind)
+               and (cat is None or r.cat == cat)
+               and (rid is None or r.rid == rid)
+               and (wid is None or r.wid == wid)]
+        if last is not None and last >= 0:
+            out = out[len(out) - min(last, len(out)):]
+        return out
+
+    def last(self, n: int) -> List[EventRecord]:
+        """The newest ``n`` records, oldest first."""
+        return self.events(last=n)
+
+    # -- rendering ------------------------------------------------------
+    def to_jsonl(self, records: Optional[Iterable[EventRecord]] = None) -> str:
+        """One JSON object per line; keys sorted for byte-identity."""
+        records = self._ring if records is None else records
+        return "\n".join(
+            json.dumps(r.as_dict(), sort_keys=True, separators=(",", ":"),
+                       allow_nan=False)
+            for r in records)
+
+    def render_text(self, last: Optional[int] = None) -> str:
+        """Deterministic text rendering (header + one line per record)."""
+        records = self._ring if last is None else self.last(last)
+        lines = [f"flight recorder: {len(self._ring)} of {self.total} "
+                 f"records retained (capacity {self.capacity}, "
+                 f"dropped {self.dropped})"]
+        lines.extend(r.render() for r in records)
+        return "\n".join(lines)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import warnings
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import forensics as forensics_mod
 from repro import telemetry as telemetry_mod
 from repro.asan import ASanScheme
 from repro.baggy import BaggyScheme
@@ -84,12 +85,13 @@ def run_workload(workload: Workload, scheme_name: str,
                  config: Optional[EnclaveConfig] = None,
                  scheme_kwargs: Optional[Dict] = None,
                  max_instructions: int = 500_000_000,
-                 telemetry=None) -> RunResult:
+                 telemetry=None, forensics=None) -> RunResult:
     """Run one registered suite workload under one scheme.
 
-    ``telemetry`` attaches a :class:`repro.telemetry.Telemetry`; when
-    omitted, the process-wide default (set by CLI ``--trace-out`` /
-    ``--metrics-out`` flags) applies, which is normally None.
+    ``telemetry`` attaches a :class:`repro.telemetry.Telemetry` and
+    ``forensics`` a :class:`repro.forensics.Forensics`; when omitted, the
+    process-wide defaults (set by CLI ``--trace-out`` / ``--metrics-out``
+    / ``--log-out`` flags) apply, which are normally None.
     """
     size = size or workload.default_size
     args = workload.args_for(size, threads)
@@ -101,8 +103,11 @@ def run_workload(workload: Workload, scheme_name: str,
     enclave = Enclave(config) if config is not None else Enclave()
     telemetry = telemetry if telemetry is not None \
         else telemetry_mod.get_default()
+    forensics = forensics if forensics is not None \
+        else forensics_mod.get_default()
     vm = VM(enclave=enclave, scheme=scheme,
-            max_instructions=max_instructions, telemetry=telemetry)
+            max_instructions=max_instructions, telemetry=telemetry,
+            forensics=forensics)
     if vm.telemetry is not None:
         vm.telemetry.label_run(f"{workload.name}/{scheme_name}/{size}")
     try:
@@ -112,6 +117,8 @@ def run_workload(workload: Workload, scheme_name: str,
         result.crashed = "OOM"
     except ReproError as err:
         result.crashed = type(err).__name__
+        if vm.forensics is not None:
+            vm.forensics.capture(vm, err)
     return _finish(result, vm, scheme)
 
 
@@ -119,7 +126,8 @@ def build_server_vm(module, scheme_name: str,
                     config: Optional[EnclaveConfig] = None,
                     scheme_kwargs: Optional[Dict] = None,
                     policy: Optional[str] = None,
-                    seed: Optional[int] = None, telemetry=None):
+                    seed: Optional[int] = None, telemetry=None,
+                    forensics=None):
     """Shared server build path: scheme → instrument → Enclave → VM.
 
     ``module`` is a *compiled but uninstrumented* MiniC module; it is never
@@ -137,7 +145,10 @@ def build_server_vm(module, scheme_name: str,
     enclave = Enclave(config) if config is not None else Enclave()
     telemetry = telemetry if telemetry is not None \
         else telemetry_mod.get_default()
-    vm = VM(enclave=enclave, scheme=scheme, seed=seed, telemetry=telemetry)
+    forensics = forensics if forensics is not None \
+        else forensics_mod.get_default()
+    vm = VM(enclave=enclave, scheme=scheme, seed=seed, telemetry=telemetry,
+            forensics=forensics)
     vm.load(instrumented)
     return vm, scheme
 
@@ -148,7 +159,8 @@ def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
                scheme_kwargs: Optional[Dict] = None,
                name: str = "server", policy: Optional[str] = None,
                net: Optional[NetworkSim] = None, faults=None,
-               seed: Optional[int] = None, telemetry=None) -> RunResult:
+               seed: Optional[int] = None, telemetry=None,
+               forensics=None) -> RunResult:
     """Run a network server app: requests pre-queued per connection.
 
     ``policy`` selects the violation policy for protected schemes;
@@ -161,12 +173,16 @@ def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
     module = compile_source(source, name)
     vm, scheme = build_server_vm(module, scheme_name, config=config,
                                  scheme_kwargs=scheme_kwargs, policy=policy,
-                                 seed=seed, telemetry=telemetry)
+                                 seed=seed, telemetry=telemetry,
+                                 forensics=forensics)
     vm.net = net if net is not None else NetworkSim()
     vm.faults = faults
     if vm.telemetry is not None:
         vm.telemetry.label_run(f"{name}/{scheme_name}")
         vm.net.telemetry = vm.telemetry
+    if vm.forensics is not None:
+        vm.net.forensics = vm.forensics
+        vm.net.clock = (lambda v=vm: v.counters.instructions)
     for conn_requests in requests_by_conn:
         vm.net.connect(*conn_requests)
     try:
@@ -177,6 +193,8 @@ def run_server(source: str, requests_by_conn: Sequence[Sequence[bytes]],
         result.crashed = type(err).__name__
         if isinstance(err, BoundsViolation):
             result.violation = err.context()
+        if vm.forensics is not None:
+            vm.forensics.capture(vm, err)
     out = _finish(result, vm, scheme)
     out.net = vm.net
     if scheme is not None and scheme.violation_log and out.violation is None:

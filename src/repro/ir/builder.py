@@ -23,6 +23,9 @@ class IRBuilder:
     def __init__(self, fn: Function, block: Optional[Block] = None):
         self.fn = fn
         self.blk = block
+        #: Current source line; codegen updates it at statement boundaries
+        #: and :meth:`emit` stamps it into every instruction (0 = unknown).
+        self.line = 0
 
     # -- block management -------------------------------------------------
     def new_block(self, name: str) -> Block:
@@ -35,6 +38,8 @@ class IRBuilder:
         return block
 
     def emit(self, ins: Instr) -> Instr:
+        if ins.line == 0:
+            ins.line = self.line
         self.blk.instrs.append(ins)
         return ins
 

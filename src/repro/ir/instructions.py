@@ -111,12 +111,15 @@ class Instr:
     ``is_pointer`` marks loads/stores that move pointer values, and marks
     GEPs whose result is a pointer the MPX pass must track.  ``clamp``
     on a GEP requests 32-bit-only arithmetic (SGXBounds).  ``safe`` is set
-    by the safe-access analysis to suppress instrumentation.
+    by the safe-access analysis to suppress instrumentation.  ``line`` is
+    the MiniC source line the instruction was generated from (0 when
+    unknown — e.g. pass-inserted instrumentation); the forensics stack
+    capture maps a frame's pc to the nearest preceding stamped line.
     """
 
     __slots__ = ("op", "dest", "a", "b", "c", "size", "signed", "is_float",
                  "is_pointer", "clamp", "safe", "name", "args", "t1", "t2",
-                 "comment")
+                 "comment", "line")
 
     def __init__(self, op: int, dest: Optional[int] = None,
                  a: Optional[int] = None, b: Optional[int] = None,
@@ -125,7 +128,8 @@ class Instr:
                  is_pointer: bool = False, clamp: bool = False,
                  safe: bool = False, name: Optional[str] = None,
                  args: Sequence[int] = (), t1: Optional[object] = None,
-                 t2: Optional[object] = None, comment: str = ""):
+                 t2: Optional[object] = None, comment: str = "",
+                 line: int = 0):
         self.op = op
         self.dest = dest
         self.a = a
@@ -142,13 +146,14 @@ class Instr:
         self.t1 = t1   # branch target: block name pre-finalize, index after
         self.t2 = t2
         self.comment = comment
+        self.line = line
 
     def copy(self) -> "Instr":
         """Shallow copy (used by passes cloning functions)."""
         return Instr(self.op, self.dest, self.a, self.b, self.c, self.size,
                      self.signed, self.is_float, self.is_pointer, self.clamp,
                      self.safe, self.name, self.args, self.t1, self.t2,
-                     self.comment)
+                     self.comment, self.line)
 
     def operands(self) -> List[int]:
         """All operand encodings this instruction reads.

@@ -270,6 +270,8 @@ class FunctionCodegen:
 
     def gen_stmt(self, stmt: ast.Stmt) -> None:
         self.ensure_live_block()
+        if stmt.line:
+            self.b.line = stmt.line   # source location for emitted IR
         if isinstance(stmt, ast.Block):
             self.gen_block(stmt)
         elif isinstance(stmt, ast.Decl):

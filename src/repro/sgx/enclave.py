@@ -97,9 +97,11 @@ class Enclave:
         self.caches = CacheHierarchy(self.config.l1_bytes, self.config.llc_bytes)
         self.epc = EPC(self.config.epc_bytes) if self.config.enclave else None
         self.counters = PerfCounters()
-        #: Observability hook; installed via :meth:`attach_telemetry` so
-        #: the default trace path stays telemetry-free.
+        #: Observability hooks; installed via :meth:`attach_telemetry` /
+        #: :meth:`attach_forensics` so the default trace path stays free
+        #: of observer code entirely.
         self.telemetry = None
+        self.forensics = None
         # The unaddressable last page (paper §4.4) protects hoisted checks.
         self.space.map(GUARD_PAGE_BASE, PAGE_SIZE, PERM_GUARD, "guard")
         self.space.tracer = self._trace
@@ -107,9 +109,27 @@ class Enclave:
     def attach_telemetry(self, telemetry) -> None:
         """Swap in the telemetry-aware trace hook (EPC-fault events)."""
         self.telemetry = telemetry
-        self.space.tracer = self._trace_telemetry
+        self._install_tracer()
         if self.epc is not None:
             self.epc.telemetry = telemetry
+
+    def attach_forensics(self, forensics) -> None:
+        """Swap in the forensics-aware trace hook (EPC fault/flush
+        records into the flight recorder; counters unchanged)."""
+        self.forensics = forensics
+        self._install_tracer()
+        if self.epc is not None:
+            self.epc.forensics = forensics
+
+    def _install_tracer(self) -> None:
+        if self.telemetry is not None and self.forensics is not None:
+            self.space.tracer = self._trace_observed
+        elif self.telemetry is not None:
+            self.space.tracer = self._trace_telemetry
+        elif self.forensics is not None:
+            self.space.tracer = self._trace_forensics
+        else:
+            self.space.tracer = self._trace
 
     # ------------------------------------------------------------------
     def _trace(self, address: int, size: int, is_write: bool) -> None:
@@ -141,6 +161,44 @@ class Enclave:
                 self.telemetry.epc_fault(address >> PAGE_SHIFT,
                                          counters.instructions,
                                          self.epc.resident_pages)
+
+    def _trace_forensics(self, address: int, size: int,
+                         is_write: bool) -> None:
+        """The same accounting as :meth:`_trace`, plus an EPC-fault
+        flight-recorder record.  Charges identical counters."""
+        counters = self.counters
+        if is_write:
+            counters.stores += 1
+        else:
+            counters.loads += 1
+        depth = self.caches.access(address, size, counters)
+        if depth == 2 and self.epc is not None:
+            counters.mee_decrypts += 1
+            if self.epc.touch(address >> PAGE_SHIFT):
+                counters.epc_faults += 1
+                self.forensics.epc_fault(address >> PAGE_SHIFT,
+                                         counters.instructions,
+                                         self.epc.resident_pages)
+
+    def _trace_observed(self, address: int, size: int,
+                        is_write: bool) -> None:
+        """Telemetry and forensics both attached; identical charges."""
+        counters = self.counters
+        if is_write:
+            counters.stores += 1
+        else:
+            counters.loads += 1
+        depth = self.caches.access(address, size, counters)
+        if depth == 2 and self.epc is not None:
+            counters.mee_decrypts += 1
+            if self.epc.touch(address >> PAGE_SHIFT):
+                counters.epc_faults += 1
+                page = address >> PAGE_SHIFT
+                resident = self.epc.resident_pages
+                self.telemetry.epc_fault(page, counters.instructions,
+                                         resident)
+                self.forensics.epc_fault(page, counters.instructions,
+                                         resident)
 
     # ------------------------------------------------------------------
     def cycles(self) -> int:

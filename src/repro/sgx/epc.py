@@ -30,6 +30,8 @@ class EPC:
         #: (fault events are published by the enclave's trace hook, which
         #: owns the instruction clock).
         self.telemetry = None
+        #: Optional ``repro.forensics.Forensics`` recording flush events.
+        self.forensics = None
 
     def touch(self, page: int) -> bool:
         """Mark ``page`` accessed from memory; returns True if it faulted."""
@@ -62,6 +64,8 @@ class EPC:
         self.evictions += evicted
         if self.telemetry is not None:
             self.telemetry.epc_flush(evicted)
+        if self.forensics is not None:
+            self.forensics.epc_flush(evicted)
         return evicted
 
     def reset(self) -> None:

@@ -138,6 +138,15 @@ class Telemetry:
 
     # -- export ----------------------------------------------------------
     def chrome_trace(self) -> Dict[str, object]:
+        """Chrome trace_event export; always a valid document, even for
+        an empty or overflowed span buffer.  Publishes the overflow as a
+        ``trace.dropped_events`` counter so a truncated trace is visible
+        in the metrics snapshot, not just inside the trace file."""
+        dropped = self.tracer.dropped
+        if dropped:
+            counter = self.registry.counter("trace.dropped_events")
+            if dropped > counter.value:
+                counter.inc(dropped - counter.value)
         return self.tracer.chrome_trace()
 
     def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:

@@ -158,8 +158,15 @@ def flame_rows(profile: Dict[str, Dict[str, int]],
                enclave: bool = True,
                limit: Optional[int] = None
                ) -> Sequence[Sequence[object]]:
-    """Rows for a compact text flame table, hottest function first."""
+    """Rows for a compact text flame table, hottest function first.
+
+    ``limit=0`` is a valid request for an empty table; negative limits
+    clamp to 0 (Python slicing would otherwise drop rows from the *end*,
+    silently returning the coldest functions).
+    """
     cost = cost or CostModel()
+    if limit is not None:
+        limit = max(0, limit)
     rows = []
     total = sum(row.get("instructions", 0) for row in profile.values()) or 1
     for name, row in profile.items():

@@ -245,7 +245,7 @@ class VM:
                  max_instructions: int = 2_000_000_000,
                  stack_size: int = DEFAULT_STACK_SIZE,
                  seed: Optional[int] = None,
-                 telemetry=None):
+                 telemetry=None, forensics=None):
         self.enclave = enclave or Enclave()
         self.space = self.enclave.space
         self.counters = self.enclave.counters
@@ -257,6 +257,20 @@ class VM:
             if (telemetry is not None and telemetry.enabled) else None
         if self.telemetry is not None:
             self.telemetry.attach_vm(self)
+        #: Forensics hook (``repro.forensics.Forensics``); same contract
+        #: as telemetry — None by default, normalized, observation-only.
+        self.forensics = forensics \
+            if (forensics is not None and forensics.enabled) else None
+        if self.forensics is not None:
+            self.forensics.attach_vm(self)
+        #: Request correlation (forensics): the id/payload of the request
+        #: currently being served, and whether ids come from an external
+        #: dispatcher (the fleet balancer) or from NetworkSim message ids.
+        self.request_id: Optional[int] = None
+        self.request_payload: Optional[bytes] = None
+        self.external_rids = False
+        #: Fleet worker id this VM incarnates (set by EnclaveWorker).
+        self.worker_id: Optional[int] = None
         self.quantum = quantum
         self.max_instructions = max_instructions
         self.stack_size = stack_size
@@ -481,10 +495,22 @@ class VM:
             self.telemetry.request_dropped(thread.tid,
                                            self.counters.instructions,
                                            len(thread.frames))
+        if self.forensics is not None:
+            self.forensics.record(
+                "request_dropped", ts=self.counters.instructions,
+                cat="request", rid=self.request_id, wid=self.worker_id,
+                tid=thread.tid, conn=ckpt.conn,
+                reason=type(err).__name__)
         net = getattr(self, "net", None)
         if net is not None and hasattr(net, "fail_request"):
             net.fail_request(ckpt.conn, ckpt.request)
         return True
+
+    def call_stack(self, thread: Optional[Thread] = None) -> List[dict]:
+        """MiniC call stack with source locations (forensics helper);
+        see :func:`repro.forensics.postmortem.capture_stack`."""
+        from repro.forensics.postmortem import capture_stack
+        return capture_stack(self, thread=thread)
 
     def _corrupted_return(self, actual: int) -> None:
         target = actual & ADDRESS_MASK

@@ -74,15 +74,24 @@ class SchemeRuntime:
                                     vm.counters.instructions, tid)
         if self.policy == violation_policy.ABORT:
             err.outcome = "aborted"
-            self._record_violation(err)
+        elif self.policy == violation_policy.DROP_REQUEST:
+            err.outcome = "request-dropped"
+        elif self.policy == violation_policy.BOUNDLESS:
+            err.outcome = "redirected"
+        else:
+            err.outcome = "logged"
+        self._record_violation(err)
+        if vm is not None:
+            # Forensics observes after the outcome is stamped: terminal
+            # policies get a full postmortem while the faulting thread's
+            # stack is still intact (the VM unwinds it right after).
+            forensics = getattr(vm, "forensics", None)
+            if forensics is not None:
+                forensics.on_violation(vm, self, err, tid)
+        if self.policy == violation_policy.ABORT:
             raise err
         if self.policy == violation_policy.DROP_REQUEST:
-            err.outcome = "request-dropped"
-            self._record_violation(err)
             raise RequestAborted(err)
-        err.outcome = ("redirected" if self.policy == violation_policy.BOUNDLESS
-                       else "logged")
-        self._record_violation(err)
 
     def _record_violation(self, err: BoundsViolation) -> None:
         if len(self.violation_log) < VIOLATION_LOG_CAP:

@@ -96,6 +96,20 @@ class NetworkSim:
         #: Optional ``repro.telemetry.Telemetry``; when attached, delivery
         #: events are published into its metrics registry.
         self.telemetry = None
+        #: Optional ``repro.forensics.Forensics``; when attached, retry
+        #: and error-reply paths record events carrying the originating
+        #: message id (``stats()`` aggregates lose it).
+        self.forensics = None
+        #: Clock for forensic records (callable returning the simulated
+        #: timestamp); the VM wires its instruction counter in here.
+        self.clock = None
+        #: Message id of the most recent :meth:`recv` delivery (full or
+        #: partial) — lets callers correlate a receive with its message.
+        self.last_recv_mid: Optional[int] = None
+
+    def _now(self) -> int:
+        """Simulated timestamp for forensic records (0 without a clock)."""
+        return self.clock() if self.clock is not None else 0
 
     def _stats(self, conn: int) -> ConnStats:
         stats = self.conn_stats.get(conn)
@@ -118,10 +132,13 @@ class NetworkSim:
         self._stats(conn).pushed += len(requests)
         return conn
 
-    def push(self, conn: int, data: bytes) -> None:
-        """Queue one more request on an existing connection."""
-        self._incoming[conn].append(self._message(data))
+    def push(self, conn: int, data: bytes) -> int:
+        """Queue one more request on an existing connection; returns the
+        message id so dispatchers can correlate retries and errors."""
+        message = self._message(data)
+        self._incoming[conn].append(message)
         self._stats(conn).pushed += 1
+        return message.mid
 
     def recv(self, conn: int, maxlen: int) -> Optional[bytes]:
         """Server-side receive: up to ``maxlen`` bytes of the front
@@ -130,6 +147,7 @@ class NetworkSim:
         if not queue:
             return None
         message = queue[0]
+        self.last_recv_mid = message.mid
         remaining = len(message.payload) - message.offset
         if remaining > maxlen:
             # Partial read: the tail stays at the front of the queue as
@@ -198,6 +216,11 @@ class NetworkSim:
             stats.backoff_cycles += backoff
             self._incoming.setdefault(conn, deque()).append(
                 self._message(raw, mid=mid))
+            if self.forensics is not None:
+                self.forensics.record(
+                    "net_retry", ts=self._now(), cat="net", conn=conn,
+                    mid=mid, attempt=attempt + 1,
+                    backoff_cycles=backoff)
             return True
         self._attempts.pop(mid, None)
         stats.failed += 1
@@ -205,6 +228,10 @@ class NetworkSim:
         stats.error_replies += 1
         if self.telemetry is not None:
             self.telemetry.registry.counter("net.request_errors").inc()
+        if self.forensics is not None:
+            self.forensics.record(
+                "net_error", ts=self._now(), cat="net", conn=conn,
+                mid=mid, attempts=attempt)
         # Surface the failure to the client without counting it as a
         # served response.
         self._outgoing.setdefault(conn, []).append(ERROR_MARKER)

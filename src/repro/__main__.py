@@ -42,11 +42,12 @@ EXPERIMENTS = {
     "fig13": lambda args: exp.fig13_case_studies(),
     "chaos": lambda args: _chaos(args),
     "fleet": lambda args: _fleet(args),
+    "recover": lambda args: _recover(args),
 }
 
 #: Experiments whose stdout must be byte-identical across runs (CI diffs
 #: them); their wall-clock timing line goes to stderr instead.
-_STDERR_TIMING = {"fleet"}
+_STDERR_TIMING = {"fleet", "recover"}
 
 
 def _postmortem(args) -> int:
@@ -130,6 +131,25 @@ def _fleet(args):
                                   policies=policies,
                                   rewarm_scales=args.rewarm_scales,
                                   balance=args.balance)
+
+
+def _recover(args):
+    """Stateful-recovery sweep.  Campaign shape (workers, fault rate,
+    seed, write mix) is fixed by the experiment so deaths — and thus
+    replica failover — deterministically occur; only the policy set and
+    size are taken from the command line, keeping stdout diffable."""
+    policies = ([args.policy] if args.policy
+                else ["abort", "drop-request", "boundless"])
+    data, text = exp.recovery_rpo(policies=policies, size=args.size)
+    if args.results_out:
+        from repro.telemetry import results as results_mod
+        cells = {"/".join(map(str, key)): value
+                 for key, value in data.items()}
+        document = results_mod.result_document("recovery_rpo",
+                                               {"cells": cells})
+        results_mod.write_json(args.results_out, document)
+        print(f"[results -> {args.results_out}]", file=sys.stderr)
+    return data, text
 
 
 def _profile(args) -> int:

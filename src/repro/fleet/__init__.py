@@ -22,6 +22,11 @@ hole.  This package simulates that layer end to end:
 * :mod:`repro.fleet.campaign` — seeded fault scenarios (poison storms,
   EPC-thrash noisy neighbours, watchdog hangs) scripted into one
   reproducible run.
+
+Campaigns can additionally run with stateful recovery
+(:mod:`repro.recovery`): sealed checkpoints, write-ahead replay of
+acknowledged mutations, and replica failover — see
+:class:`repro.fleet.campaign.CampaignConfig.recovery`.
 """
 
 from repro.fleet.balancer import Balancer, CircuitBreaker, Request

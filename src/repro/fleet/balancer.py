@@ -309,5 +309,17 @@ class Balancer:
         return failed
 
     # ------------------------------------------------------------------
+    def replace_worker(self, wid: int, worker) -> None:
+        """Failover: a promoted replica takes over ``wid``'s slot.  The
+        queue, breaker, and retry bookkeeping carry over — clients see
+        the same shard, served by a different enclave."""
+        if wid not in self.workers:
+            raise KeyError(f"balancer has no worker {wid}")
+        if wid in self.inflight:
+            raise RuntimeError(
+                f"cannot replace worker {wid} with a request in flight")
+        self.workers[wid] = worker
+
+    # ------------------------------------------------------------------
     def breaker_opens(self) -> int:
         return sum(b.opens for b in self.breakers.values())

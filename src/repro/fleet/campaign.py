@@ -67,6 +67,19 @@ class CampaignConfig:
     hang: Tuple[int, int, int] = ()
     #: Fail-safe bound on campaign length.
     max_ticks: int = 5_000
+    #: Stateful recovery mode: "none" (default — exactly the pre-recovery
+    #: fleet, fresh heap every restart), or one of
+    #: :data:`repro.recovery.MODES` ("restart-fresh" for accounting-only
+    #: baseline, "snapshot", "snapshot+wal", "replica").  Any mode other
+    #: than "none" runs the app's RECOVERY_SOURCE build.
+    recovery: str = "none"
+    #: Ticks between sealed checkpoints (snapshot-taking modes).
+    checkpoint_interval: int = 25
+    #: Diff recovered state against the shadow oracle at campaign end.
+    recovery_audit: bool = True
+    #: Extra ``workload()`` kwargs as a tuple of pairs, e.g.
+    #: ``(("set_every", 2),)`` for write-heavy memcached traffic.
+    workload_kwargs: Tuple[Tuple[str, object], ...] = ()
 
 
 @dataclass
@@ -86,6 +99,9 @@ class CampaignResult:
     #: Forensics summary; None (and absent from :meth:`as_dict`) unless a
     #: flight recorder was attached, so default output stays byte-stable.
     forensics: Optional[Dict[str, object]] = None
+    #: Recovery summary (RPO/RTO/sealing/audit); None (and absent from
+    #: :meth:`as_dict`) unless the campaign ran with recovery enabled.
+    recovery: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         cfg = self.config
@@ -111,6 +127,10 @@ class CampaignResult:
         }
         if self.forensics is not None:
             out["forensics"] = self.forensics
+        if self.recovery is not None:
+            out["config"]["recovery"] = cfg.recovery
+            out["config"]["checkpoint_interval"] = cfg.checkpoint_interval
+            out["recovery"] = self.recovery
         return out
 
 
@@ -139,7 +159,9 @@ def run_campaign(config: CampaignConfig, telemetry=None,
         forensics = None
     profile = _profile(config.app)
     mod = profile.module
-    requests = mod.workload(mod.SIZES[config.size])
+    recovery_on = config.recovery != "none"
+    requests = mod.workload(mod.SIZES[config.size],
+                            **dict(config.workload_kwargs))
     # apply() reseeds per call, so fuzz the whole trace up front (one draw
     # sequence per request, exactly like the single-server chaos runs) and
     # keep a parallel storm-rate copy for arrivals inside the storm window.
@@ -155,7 +177,15 @@ def run_campaign(config: CampaignConfig, telemetry=None,
             profile.weights)
         storm_trace = storm_fuzzer.apply(requests)
 
-    module = compile_source(mod.SOURCE, config.app)
+    source = mod.SOURCE
+    if recovery_on:
+        # Recovery modes run the app's snapshot/restore-capable build;
+        # the default build (and its cycle behaviour) is untouched.
+        source = getattr(mod, "RECOVERY_SOURCE", None)
+        if source is None:
+            raise ValueError(
+                f"app {config.app!r} has no recovery-enabled build")
+    module = compile_source(source, config.app)
     enclave_config = replace(
         APP_CONFIG,
         cold_start=APP_CONFIG.cold_start.scaled(config.rewarm_scale))
@@ -187,6 +217,26 @@ def run_campaign(config: CampaignConfig, telemetry=None,
     slo = SLOTracker(config.tick_cycles, registry=registry,
                      anomalies=forensics.monitor
                      if forensics is not None else None)
+    manager = None
+    if recovery_on:
+        from repro.recovery import RecoveryManager
+
+        def _spare_worker(wid: int) -> EnclaveWorker:
+            # Replicas and audit oracles: same build/scheme/policy as the
+            # serving workers, but no telemetry/forensics/noise hookup —
+            # they are standbys and measurement shadows, not chaos targets.
+            return EnclaveWorker(wid, module, config.scheme,
+                                 policy=config.policy, config=enclave_config,
+                                 watchdog_budget=config.watchdog_budget)
+
+        manager = RecoveryManager(
+            config.recovery, mod, config.app,
+            tick_cycles=config.tick_cycles,
+            checkpoint_interval=config.checkpoint_interval,
+            worker_factory=_spare_worker, audit=config.recovery_audit,
+            telemetry=telemetry, forensics=forensics)
+        for worker in workers:
+            manager.attach(worker)
     result = CampaignResult(config)
 
     arrivals = iter(enumerate(requests))
@@ -221,6 +271,13 @@ def run_campaign(config: CampaignConfig, telemetry=None,
         for wid in supervisor.tick(now):
             workers[wid].boot()
             result.events.append((now, "restarted", wid, ""))
+            if manager is not None:
+                extra, rto = manager.on_restart(workers[wid], now,
+                                                supervisor.startup_ticks)
+                if extra:
+                    supervisor.extend_start(wid, extra)
+                if rto:
+                    slo.on_recovery(rto)
         # 4. Dispatch.
         for req in balancer.dispatch(now):
             slo.on_terminal(req)
@@ -231,6 +288,8 @@ def run_campaign(config: CampaignConfig, telemetry=None,
             report = worker.run_tick(config.tick_cycles)
             for rid, status in report.outcomes:
                 req = balancer.on_outcome(worker.wid, rid, status, now)
+                if manager is not None and status == "served":
+                    manager.on_served(worker.wid, req, now)
                 slo.on_terminal(req)
             if report.crash is not None:
                 result.crashes += 1
@@ -238,10 +297,26 @@ def run_campaign(config: CampaignConfig, telemetry=None,
                     result.watchdog_kills += 1
                 result.events.append(
                     (now, "crash", worker.wid, report.crash))
-                supervisor.on_crash(worker, now, report.crash)
+                cost = supervisor.on_crash(worker, now, report.crash)
+                if manager is not None:
+                    manager.on_crash(worker.wid, now, dead=cost is None)
                 for req in balancer.on_worker_crash(
                         worker.wid, report.stranded, now):
                     slo.on_terminal(req)
+                if manager is not None and cost is None:
+                    promoted = manager.promote(worker.wid, now, balancer,
+                                               supervisor.startup_ticks)
+                    if promoted is not None:
+                        standby, extra, rto = promoted
+                        workers[worker.wid] = standby
+                        supervisor.revive(worker.wid, now, extra)
+                        slo.on_recovery(rto)
+                        result.events.append(
+                            (now, "promoted", worker.wid, ""))
+        # 5b. Recovery upkeep: replica apply + sealed checkpoints of
+        # idle workers whose interval elapsed.
+        if manager is not None:
+            manager.tick(now, {w.wid: w for w in workers}, supervisor)
         # 6. Client deadlines: queued requests past their patience fail.
         for req in balancer.expire(now, config.deadline_ticks):
             slo.on_terminal(req)
@@ -269,6 +344,9 @@ def run_campaign(config: CampaignConfig, telemetry=None,
     result.supervisor = supervisor.summary()
     result.breaker_opens = balancer.breaker_opens()
     result.worker_cycles = sum(w.total_cycles + w.cycles() for w in workers)
+    if manager is not None:
+        result.recovery = manager.finalize(
+            {w.wid: w for w in workers}, supervisor, now)
     if forensics is not None:
         result.forensics = forensics.summary()
     if registry is not None:

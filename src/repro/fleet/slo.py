@@ -37,6 +37,9 @@ class SLOTracker:
         self.served = 0
         self.error_replies = 0
         self.failed = 0
+        #: Recovery-time-objective samples (ticks from crash to serving
+        #: again), populated only when stateful recovery is enabled.
+        self.rto_ticks: list = []
 
     # ------------------------------------------------------------------
     def on_submitted(self, count: int = 1) -> None:
@@ -52,6 +55,10 @@ class SLOTracker:
             self.error_replies += 1
         else:
             self.failed += 1
+
+    def on_recovery(self, rto_ticks: int) -> None:
+        """One crash-to-serving recovery completed (restore or failover)."""
+        self.rto_ticks.append(rto_ticks)
 
     # ------------------------------------------------------------------
     def availability(self) -> float:
@@ -76,6 +83,14 @@ class SLOTracker:
             "latency_mean_cycles": (self.latency.total / served)
             if served else None,
         }
+        if self.rto_ticks:
+            # Only when recovery populated it, so default summaries stay
+            # byte-identical with recovery off.
+            out["rto"] = {
+                "count": len(self.rto_ticks),
+                "mean_ticks": sum(self.rto_ticks) / len(self.rto_ticks),
+                "max_ticks": max(self.rto_ticks),
+            }
         if self.anomalies is not None:
             # Only when forensics is attached, so default summaries stay
             # byte-identical with the detector absent.

@@ -41,16 +41,25 @@ RUNNING = (STARTING, HEALTHY, DEGRADED)
 class WorkerRecord:
     """Supervisor-side view of one worker."""
 
-    __slots__ = ("status", "ready_at", "crash_ticks", "restarts",
+    __slots__ = ("status", "ready_at", "crash_ticks", "crashes", "restarts",
                  "restart_cycles", "crash_reasons")
 
     def __init__(self) -> None:
         self.status = STARTING
         self.ready_at = 0          # tick at which the next promotion fires
+        #: Crash timestamps still inside the crash-loop window; pruned on
+        #: every crash and tick so a long campaign's history stays O(K).
         self.crash_ticks: List[int] = []
+        self.crashes = 0           # lifetime total (crash_ticks is pruned)
         self.restarts = 0
         self.restart_cycles = 0
         self.crash_reasons: List[str] = []
+
+    def prune(self, now: int, window: int) -> None:
+        """Forget crash timestamps older than the crash-loop window."""
+        if self.crash_ticks and now - self.crash_ticks[0] > window:
+            self.crash_ticks = [t for t in self.crash_ticks
+                                if now - t <= window]
 
 
 class Supervisor:
@@ -106,13 +115,13 @@ class Supervisor:
         the worker crossed the crash-loop threshold and is dead."""
         record = self.records[worker.wid]
         record.status = CRASHED
+        record.prune(now, self.crash_loop_window)
         record.crash_ticks.append(now)
+        record.crashes += 1
         record.crash_reasons.append(reason)
         if self.forensics is not None:
             self.forensics.fleet_crash(now, worker.wid, reason)
-        recent = [t for t in record.crash_ticks
-                  if now - t <= self.crash_loop_window]
-        if len(recent) >= self.crash_loop_k:
+        if len(record.crash_ticks) >= self.crash_loop_k:
             record.status = DEAD
             self.deaths += 1
             if self.telemetry is not None:
@@ -140,6 +149,7 @@ class Supervisor:
         boots: List[int] = []
         for wid in sorted(self.records):
             record = self.records[wid]
+            record.prune(now, self.crash_loop_window)
             if record.status == RESTARTING and now >= record.ready_at:
                 record.status = STARTING
                 record.ready_at = now + self.startup_ticks
@@ -154,6 +164,25 @@ class Supervisor:
         return boots
 
     # ------------------------------------------------------------------
+    def extend_start(self, wid: int, extra_ticks: int) -> None:
+        """Recovery hook: restoring sealed state stretches the startup
+        window of a booting worker by ``extra_ticks``."""
+        if extra_ticks > 0:
+            self.records[wid].ready_at += extra_ticks
+
+    def revive(self, wid: int, now: int, extra_ticks: int = 0) -> None:
+        """Failover hook: a replica was promoted into a DEAD slot.  The
+        slot re-enters the lifecycle at STARTING; ``extra_ticks`` prices
+        the promotion drain."""
+        record = self.records[wid]
+        record.status = STARTING
+        record.ready_at = now + self.startup_ticks + max(0, extra_ticks)
+        if self.telemetry is not None:
+            self.telemetry.fleet_event("promote", wid, now)
+        if self.forensics is not None:
+            self.forensics.fleet_event("replica_promoted", now, wid=wid)
+
+    # ------------------------------------------------------------------
     def summary(self) -> Dict[str, object]:
         return {
             "restarts": sum(r.restarts for r in self.records.values()),
@@ -161,7 +190,7 @@ class Supervisor:
             "restart_cycles": self.total_restart_cycles,
             "per_worker": {
                 wid: {"status": r.status, "restarts": r.restarts,
-                      "crashes": len(r.crash_ticks),
+                      "crashes": r.crashes,
                       "restart_cycles": r.restart_cycles,
                       "crash_reasons": list(r.crash_reasons)}
                 for wid, r in sorted(self.records.items())},

@@ -64,7 +64,7 @@ class EnclaveWorker:
                  scheme_kwargs=None, watchdog_budget: int = 200_000,
                  epc_spike_rate: float = 0.0,
                  faults_seed: Optional[int] = None, telemetry=None,
-                 forensics=None):
+                 forensics=None, mutates=None):
         self.wid = wid
         self.module = module              # compiled, uninstrumented base
         self.scheme_name = scheme_name
@@ -77,6 +77,13 @@ class EnclaveWorker:
         self.telemetry = telemetry
         self.forensics = forensics \
             if (forensics is not None and forensics.enabled) else None
+        #: Predicate classifying request payloads as state-mutating; only
+        #: set when the campaign runs with stateful recovery enabled.
+        self.mutates = mutates
+        #: Recovery manager back-reference (set by ``RecoveryManager.attach``)
+        #: so ``submit`` can write-ahead-log mutating requests.
+        self.recovery = None
+        self.deduped = 0                  # mutations skipped as duplicates
         self.incarnations = 0
         self.served = 0
         self.error_replies = 0
@@ -123,6 +130,13 @@ class EnclaveWorker:
         self._dispatch_instr = 0
         self._sent_seen = 0
         self._hang_ticks = 0
+        self._pause_ticks = 0
+        self._dedup_ack = False
+        #: Mutating request ids whose effects are in this incarnation's
+        #: state (repopulated by recovery replay after a restart); the
+        #: dedup check in ``submit`` consults it so a hedged or retried
+        #: duplicate is acked without re-applying.
+        self.applied_rids = set()
 
     # ------------------------------------------------------------------
     @property
@@ -136,6 +150,22 @@ class EnclaveWorker:
     def submit(self, rid: int, payload: bytes) -> None:
         """Hand one request to the worker (depth-1: caller checks idle)."""
         vm = self.vm
+        mutating = self.mutates is not None and self.mutates(payload)
+        if mutating and rid in self.applied_rids:
+            # Idempotence under hedged/retried dispatch: this mutation is
+            # already in the live state, so ack it without touching the VM
+            # (re-applying a SET after an interleaved write to the same
+            # key would resurrect the older value).
+            self.inflight = (rid, payload)
+            self._dedup_ack = True
+            self.deduped += 1
+            if self.forensics is not None:
+                self.forensics.record(
+                    "dedup", ts=vm.counters.instructions, cat="fleet",
+                    rid=rid, wid=self.wid)
+            return
+        if mutating and self.recovery is not None:
+            self.recovery.on_dispatch(self.wid, rid, payload)
         self.inflight = (rid, payload)
         self._sent_seen = len(vm.net.sent(self.conn))
         self._dispatch_instr = vm.counters.instructions
@@ -153,11 +183,28 @@ class EnclaveWorker:
         burning instructions without progress (watchdog fodder)."""
         self._hang_ticks = max(self._hang_ticks, ticks)
 
+    def pause(self, ticks: int) -> None:
+        """Recovery hook: the worker stalls for ``ticks`` ticks while a
+        checkpoint seals.  Only taken when idle, so unlike a hang it can
+        never trip the watchdog."""
+        self._pause_ticks += ticks
+
     # ------------------------------------------------------------------
     def run_tick(self, cycle_budget: int) -> TickReport:
         """Advance the incarnation by about ``cycle_budget`` cycles."""
         vm = self.vm
         outcomes: List[Tuple[int, str]] = []
+        if self._dedup_ack:
+            self._dedup_ack = False
+            rid, _ = self.inflight
+            self.inflight = None
+            self.served += 1
+            return TickReport([(rid, SERVED)])
+        if self._pause_ticks > 0:
+            # Sealing a checkpoint: the enclave is busy with EGETKEY/GCM
+            # work already charged to its clock; no requests progress.
+            self._pause_ticks -= 1
+            return TickReport(outcomes)
         if self._hang_ticks > 0:
             self._hang_ticks -= 1
             # A stuck enclave spins: the cycles pass, nothing completes.
@@ -203,6 +250,40 @@ class EnclaveWorker:
         return TickReport(outcomes)
 
     # ------------------------------------------------------------------
+    def drive_control(self, payload: bytes,
+                      max_cycles: int = 50_000_000) -> Tuple[List[bytes], int]:
+        """Synchronously run one control request (snapshot dump, restore
+        row, WAL replay) through the live VM and return
+        ``(reply_messages, cycles_spent)``.
+
+        Only the recovery machinery calls this, and only while the worker
+        is idle — control traffic never races client requests and never
+        arms the watchdog.  Cycles land on the enclave clock like any
+        other work; the caller converts them into stall ticks.  Faults
+        propagate as :class:`repro.errors.ReproError` for the caller to
+        translate into a failed recovery.
+        """
+        if self.inflight is not None:
+            raise RuntimeError("drive_control on a busy worker")
+        vm = self.vm
+        seen = len(vm.net.sent(self.conn))
+        start = vm.enclave.cycles()
+        vm.net.push(self.conn, payload)
+        vm.unblock_net_waiters(self.conn)
+        while True:
+            thread = next((t for t in vm.threads
+                           if t.state == vm_mod.RUNNABLE), None)
+            if thread is None:
+                break                      # parked back in blocking recv
+            vm._step(thread, vm.quantum)
+            if vm.enclave.cycles() - start > max_cycles:
+                raise RuntimeError(
+                    f"control request runaway on worker {self.wid}")
+        messages = list(vm.net.sent(self.conn)[seen:])
+        self._sent_seen = len(vm.net.sent(self.conn))
+        return messages, vm.enclave.cycles() - start
+
+    # ------------------------------------------------------------------
     def _watchdog_fired(self) -> bool:
         if self.inflight is None:
             return False
@@ -221,11 +302,13 @@ class EnclaveWorker:
             return []
         reply = sent[self._sent_seen]
         self._sent_seen = len(sent)       # swallow multi-part replies
-        rid, _ = self.inflight
+        rid, payload = self.inflight
         self.inflight = None
         if reply == ERROR_MARKER:
             self.error_replies += 1
             return [(rid, ERROR)]
+        if self.mutates is not None and self.mutates(payload):
+            self.applied_rids.add(rid)
         self.served += 1
         return [(rid, SERVED)]
 

@@ -22,7 +22,7 @@ from repro.harness import report
 from repro.harness.experiments import APP_CONFIG
 from repro.harness.runner import RunResult, run_server
 from repro.workloads import NetworkSim
-from repro.workloads.apps import apache, memcached, nginx
+from repro.workloads.apps import apache, memcached, nginx, sqlite_server
 
 
 class ChaosProfile:
@@ -62,6 +62,15 @@ PROFILES: Dict[str, ChaosProfile] = {
         attacks=(apache.heartbleed_request,),
         weights={"oob-probe": 0.5, "inflate-length": 0.25,
                  "truncate": 0.1, "bit-flip": 0.15}),
+    # Write-heavy stateful app for the recovery experiments; not part of
+    # the default chaos_availability() app set, so existing sweeps are
+    # unchanged.
+    "sqlite_kv": ChaosProfile(
+        sqlite_server, threads=1,
+        length_field=LengthField(offset=2, width=2),
+        attacks=(sqlite_server.blob_overflow_request,),
+        weights={"oob-probe": 0.5, "inflate-length": 0.2,
+                 "truncate": 0.15, "bit-flip": 0.15}),
 }
 
 

@@ -1,0 +1,46 @@
+"""Stateful recovery for the enclave fleet.
+
+Sealed checkpoints (:mod:`repro.recovery.checkpoint` over
+:mod:`repro.sgx.sealing`), a deterministic write-ahead log of mutating
+requests (:mod:`repro.recovery.wal`), replica failover with WAL shipping
+(:mod:`repro.recovery.replica`), and a shadow-oracle consistency audit
+(:mod:`repro.recovery.audit`), orchestrated per campaign by
+:class:`repro.recovery.manager.RecoveryManager`.
+"""
+
+from repro.recovery.audit import audit_shard, diff_records, snapshot_records
+from repro.recovery.checkpoint import (
+    CheckpointStore,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+from repro.recovery.manager import (
+    MODES,
+    REPLICA,
+    RESTART_FRESH,
+    RecoveryManager,
+    SNAPSHOT,
+    SNAPSHOT_WAL,
+    ShardState,
+)
+from repro.recovery.replica import ReplicaLink
+from repro.recovery.wal import WALRecord, WriteAheadLog
+
+__all__ = [
+    "MODES",
+    "RESTART_FRESH",
+    "SNAPSHOT",
+    "SNAPSHOT_WAL",
+    "REPLICA",
+    "RecoveryManager",
+    "ShardState",
+    "ReplicaLink",
+    "WALRecord",
+    "WriteAheadLog",
+    "CheckpointStore",
+    "encode_checkpoint",
+    "decode_checkpoint",
+    "audit_shard",
+    "diff_records",
+    "snapshot_records",
+]

@@ -1,0 +1,76 @@
+"""Post-recovery consistency audit against a shadow oracle.
+
+The oracle is a fresh enclave of the same build (same compiled module,
+scheme, policy) that replays *only the acknowledged mutations* of a
+shard, in ack order.  Because the recovery-enabled apps keep committed
+state a pure function of acknowledged request bytes (request buffers are
+zero-filled per receive; vulnerable copies stage before committing), the
+oracle's snapshot is byte-for-byte what a lossless recovery must hold.
+Diffing canonicalised (sorted) snapshot records against the surviving
+worker therefore measures exactly the acknowledged writes a recovery
+mode lost or corrupted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+def snapshot_records(worker, app) -> List[bytes]:
+    """Drive the app's SNAPSHOT opcode on ``worker``; returns records."""
+    messages, _ = worker.drive_control(app.snapshot_request())
+    return app.parse_snapshot(messages)
+
+
+def replay_history(worker, history: List[Tuple[int, bytes]]) -> int:
+    """Replay acknowledged mutations (ack order) into a fresh worker."""
+    for rid, payload in history:
+        worker.drive_control(payload)
+    return len(history)
+
+
+def diff_records(expected: List[bytes], got: List[bytes]) -> Dict[str, int]:
+    """Multiset diff of canonicalised snapshot records."""
+    want = Counter(expected)
+    have = Counter(got)
+    return {
+        "expected": len(expected),
+        "recovered": len(got),
+        "missing": sum((want - have).values()),
+        "extra": sum((have - want).values()),
+    }
+
+
+def audit_shard(wid: int, worker, app, history: List[Tuple[int, bytes]],
+                worker_factory) -> Dict[str, object]:
+    """Diff ``worker``'s live state against the shadow oracle.
+
+    Returns a dict with the record counts and a ``clean`` verdict; if the
+    worker (or the oracle replay) cannot be driven — e.g. the shard died
+    and was never revived — the loss is total and reported as such.
+    """
+    oracle = worker_factory(wid)
+    try:
+        replay_history(oracle, history)
+        expected = snapshot_records(oracle, app)
+    except (ReproError, ValueError, RuntimeError) as err:
+        return {"error": f"oracle replay failed: {type(err).__name__}",
+                "clean": False}
+    if worker is None:
+        result = diff_records(expected, [])
+        result["clean"] = not expected
+        result["unrecoverable"] = True
+        return result
+    try:
+        got = snapshot_records(worker, app)
+    except (ReproError, ValueError, RuntimeError) as err:
+        result = diff_records(expected, [])
+        result["error"] = f"snapshot failed: {type(err).__name__}"
+        result["clean"] = False
+        return result
+    result = diff_records(expected, got)
+    result["clean"] = (result["missing"] == 0 and result["extra"] == 0)
+    return result

@@ -1,0 +1,89 @@
+"""Primary/replica pairing: WAL shipping and failover promotion.
+
+Each shard's primary gets a warm replica — a second enclave of the same
+build that is *not* in the balancer's rotation.  Every committed WAL
+entry is shipped over a dedicated :class:`repro.workloads.NetworkSim`
+link at ack time; the replica drains the link during the campaign tick,
+applying entries through the same VM opcodes a WAL replay uses, under a
+per-tick cycle budget so replication work is paced like everything else.
+
+When the supervisor declares a primary dead (crash-loop), the manager
+promotes: the replica drains whatever is still on the wire, takes over
+the shard's worker id in the balancer rotation, and the supervisor
+revives the slot with the drain cost added to its startup time.  RPO is
+zero as long as shipping is synchronous with acks, which it is here;
+RTO is the promotion drain plus the supervisor's startup ticks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.workloads import NetworkSim
+
+from repro.recovery.wal import WALRecord
+
+#: Upper bound on one shipped WAL frame (entries are single requests).
+_FRAME_MAX = 1 << 16
+
+
+class ReplicaLink:
+    """One shard's replication channel + standby enclave."""
+
+    def __init__(self, wid: int, worker):
+        self.wid = wid
+        self.worker = worker              # standby EnclaveWorker
+        self.net = NetworkSim()
+        self.conn = self.net.connect()
+        self.shipped = 0
+        self.shipped_bytes = 0
+        self.applied = 0
+        self.apply_cycles = 0
+        self.promoted = False
+
+    def ship(self, record: WALRecord) -> None:
+        """Queue one committed entry on the replication link (ack time)."""
+        frame = record.encode()
+        self.net.push(self.conn, frame)
+        self.shipped += 1
+        self.shipped_bytes += len(frame)
+
+    def pending(self) -> int:
+        return self.net.pending(self.conn)
+
+    def _pop(self) -> WALRecord:
+        frame = self.net.recv(self.conn, _FRAME_MAX)
+        return WALRecord.decode(frame)
+
+    def apply_pending(self, cycle_budget: Optional[int] = None) -> int:
+        """Drain shipped entries into the standby VM; returns cycles
+        spent.  With a budget, stops once it is exceeded (remaining
+        entries wait for the next tick — replication lag)."""
+        spent = 0
+        while self.pending() > 0:
+            if cycle_budget is not None and spent >= cycle_budget:
+                break
+            record = self._pop()
+            _, cycles = self.worker.drive_control(record.payload)
+            self.worker.applied_rids.add(record.rid)
+            self.applied += 1
+            spent += cycles
+        self.apply_cycles += spent
+        return spent
+
+    def promote(self) -> Tuple[object, int]:
+        """Failover: drain the remaining backlog and hand the standby
+        over; returns ``(worker, drain_cycles)``."""
+        drain_cycles = self.apply_pending(cycle_budget=None)
+        self.promoted = True
+        return self.worker, drain_cycles
+
+    def stats(self) -> dict:
+        return {
+            "shipped": self.shipped,
+            "shipped_bytes": self.shipped_bytes,
+            "applied": self.applied,
+            "lag": self.pending(),
+            "apply_cycles": self.apply_cycles,
+            "promoted": self.promoted,
+        }

@@ -4,6 +4,15 @@ from repro.sgx.cache import Cache, CacheHierarchy, LINE_SIZE
 from repro.sgx.counters import CostModel, PerfCounters
 from repro.sgx.enclave import ColdStartModel, Enclave, EnclaveConfig
 from repro.sgx.epc import EPC
+from repro.sgx.sealing import (
+    MonotonicCounter,
+    SealedBlob,
+    SealError,
+    SealIntegrityError,
+    SealingModel,
+    SealingService,
+    SealRollbackError,
+)
 
 __all__ = [
     "ColdStartModel",
@@ -15,4 +24,11 @@ __all__ = [
     "LINE_SIZE",
     "CostModel",
     "PerfCounters",
+    "MonotonicCounter",
+    "SealedBlob",
+    "SealError",
+    "SealIntegrityError",
+    "SealingModel",
+    "SealingService",
+    "SealRollbackError",
 ]

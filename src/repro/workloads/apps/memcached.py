@@ -88,6 +88,111 @@ int main(int n, int threads) {
 """
 
 
+#: Recovery-enabled build of the same server (see ``RECOVERY_SOURCE``
+#: below): adds magic-guarded SNAPSHOT/RESTORE opcodes and zero-fills the
+#: request buffer tail after every receive so stored values are a pure
+#: function of the request bytes (a prerequisite for replaying a WAL of
+#: mutations only — without it a truncated SET would capture residue of
+#: whatever request happened to precede it).
+SNAPSHOT_OP = 9
+RESTORE_OP = 10
+#: 4-byte guard carried in the key field of control requests; a fuzzed
+#: client request whose opcode bit-flips onto a control opcode cannot
+#: also carry the magic, so it falls through exactly like an unknown
+#: opcode does in the base build.
+CONTROL_MAGIC = bytes((0xA5, 0x5A, 0xC3, 0x3C))
+#: Terminator frame closing a snapshot dump.
+SNAPSHOT_END = b"DONE"
+
+_RECOVERY_HELPERS = r"""
+char g_snap[64];
+
+int snap_magic_ok(int keylen) {
+    if (keylen != 4) return 0;
+    if ((g_req[4] & 255) != 165) return 0;
+    if ((g_req[5] & 255) != 90) return 0;
+    if ((g_req[6] & 255) != 195) return 0;
+    if ((g_req[7] & 255) != 60) return 0;
+    return 1;
+}
+
+int snapshot_dump(int conn) {
+    int count = 0;
+    for (int b = 0; b < 256; b++) {
+        struct Item *it = g_table[b];
+        while (it) {
+            g_snap[0] = it->hash & 255;
+            g_snap[1] = (it->hash >> 8) & 255;
+            g_snap[2] = (it->hash >> 16) & 255;
+            g_snap[3] = (it->hash >> 24) & 255;
+            g_snap[4] = it->vallen & 255;
+            g_snap[5] = (it->vallen >> 8) & 255;
+            for (int j = 0; j < it->vallen; j++) g_snap[6 + j] = it->val[j];
+            net_send(conn, g_snap, 6 + it->vallen);
+            count++;
+            it = it->next;
+        }
+    }
+    net_send(conn, "DONE", 4);
+    return count;
+}
+
+int restore_item(int vallen, int conn) {
+    if (vallen > 48) { net_send(conn, "X", 1); return 0; }
+    int h = (g_req[8] & 255) | ((g_req[9] & 255) << 8)
+          | ((g_req[10] & 255) << 16) | ((g_req[11] & 255) << 24);
+    int bucket = h % 256;
+    struct Item *it = g_table[bucket];
+    while (it && it->hash != h) it = it->next;
+    if (!it) {
+        it = (struct Item*)malloc(sizeof(struct Item));
+        it->hash = h;
+        it->next = g_table[bucket];
+        g_table[bucket] = it;
+    }
+    it->vallen = vallen;
+    memcpy(it->val, g_req + 12, vallen);
+    net_send(conn, "R", 1);
+    return 1;
+}
+
+int main("""
+
+_RECOVERY_DISPATCH = r"""        } else if (op == 3) {
+            handle_auth(keylen, vallen, 0);
+        } else if (op == 9) {
+            if (snap_magic_ok(keylen)) { snapshot_dump(0); }
+        } else if (op == 10) {
+            if (snap_magic_ok(keylen)) { restore_item(vallen, 0); }
+        }"""
+
+
+def _recovery_source() -> str:
+    """Derive the recovery build from ``SOURCE`` (never edit both)."""
+    anchors = (
+        ("int main(", _RECOVERY_HELPERS),
+        ("        int got = net_recv(0, g_req, 512);\n"
+         "        if (got <= 0) break;",
+         "        int got = net_recv(0, g_req, 512);\n"
+         "        if (got <= 0) break;\n"
+         "        memset(g_req + got, 0, 512 - got);"),
+        ("        } else if (op == 3) {\n"
+         "            handle_auth(keylen, vallen, 0);\n"
+         "        }",
+         _RECOVERY_DISPATCH),
+    )
+    source = SOURCE
+    for old, new in anchors:
+        if old not in source:
+            raise RuntimeError(
+                f"memcached RECOVERY_SOURCE anchor vanished: {old[:40]!r}")
+        source = source.replace(old, new, 1)
+    return source
+
+
+RECOVERY_SOURCE = _recovery_source()
+
+
 def make_request(op: int, key: bytes, value: bytes = b"",
                  claimed_len: int = -1) -> bytes:
     """Build one protocol request; ``claimed_len`` overrides the header's
@@ -96,17 +201,55 @@ def make_request(op: int, key: bytes, value: bytes = b"",
     return bytes((op, len(key))) + struct.pack("<H", vallen) + key + value
 
 
-def workload(n: int, value_size: int = 32) -> List[bytes]:
-    """memaslap-like mix: 90% GET / 10% SET over a small key space."""
+def workload(n: int, value_size: int = 32, set_every: int = 10) -> List[bytes]:
+    """memaslap-like mix over a small key space: one SET per ``set_every``
+    requests (default 90% GET / 10% SET; the recovery experiments lower
+    ``set_every`` for write-heavy traffic)."""
     requests = []
     for i in range(n):
         key = b"key%06d" % (i % max(n // 10, 1))
-        if i % 10 == 0:
+        if i % set_every == 0:
             value = bytes((i + j) & 0xFF for j in range(value_size))
             requests.append(make_request(1, key, value[:48]))
         else:
             requests.append(make_request(2, key))
     return requests
+
+
+# -- recovery hooks (repro.recovery drives these through the VM) -----------
+def is_mutating(request: bytes) -> bool:
+    """Does this request mutate the snapshotted store?  SETs do; AUTH only
+    touches the (unsnapshotted) auth scratch buffer."""
+    return len(request) >= 1 and request[0] == 1
+
+
+def snapshot_request() -> bytes:
+    """Control request asking the server to dump its item table."""
+    return bytes((SNAPSHOT_OP, 4)) + struct.pack("<H", 0) + CONTROL_MAGIC
+
+
+def restore_request(record: bytes) -> bytes:
+    """Control request re-inserting one snapshot ``record``
+    (hash[4] + vallen[2] + val bytes, exactly as ``snapshot_dump`` emits)."""
+    if len(record) < 6:
+        raise ValueError(f"short memcached snapshot record: {record!r}")
+    vallen = record[4] | (record[5] << 8)
+    value = record[6:6 + vallen]
+    if len(value) != vallen:
+        raise ValueError("memcached snapshot record truncated")
+    return (bytes((RESTORE_OP, 4)) + struct.pack("<H", vallen)
+            + CONTROL_MAGIC + record[:4] + value)
+
+
+def parse_snapshot(messages) -> List[bytes]:
+    """Validate a snapshot dump reply stream; returns the records."""
+    if not messages or messages[-1] != SNAPSHOT_END:
+        raise ValueError("memcached snapshot dump not terminated")
+    records = list(messages[:-1])
+    for record in records:
+        if len(record) < 6:
+            raise ValueError(f"short memcached snapshot record: {record!r}")
+    return records
 
 
 def cve_2011_4971_request(claimed: int = 300) -> bytes:

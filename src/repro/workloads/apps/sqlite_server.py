@@ -1,0 +1,312 @@
+"""sqlite_kv served over the wire: a B-tree key/value store with WAL hooks.
+
+Server-mode companion to :mod:`repro.workloads.apps.sqlite_kv` (which
+benchmarks the same unbalanced binary search tree as an in-enclave
+speedtest).  Rows live in malloc'd nodes keyed by a 32-bit integer and
+carry a 4-byte value plus a 12-byte pad blob; DELETE tombstones rather
+than unlinks, as the speedtest does.  The vulnerable path mirrors the
+classic length-trusting blob copy: INSERT stages its pad bytes through a
+fixed 12-byte buffer using the *claimed* blob length from the header.
+
+The staging buffer is deliberately written **before** any row is touched:
+under a fault-tolerant policy a mid-copy bounds fault rolls the request
+back with the tree unmodified, so committed state stays a pure function
+of acknowledged requests — the invariant the recovery subsystem's
+write-ahead replay and shadow-oracle audit both depend on.
+
+Request format (little-endian):
+  byte 0      opcode: 1 = INSERT, 2 = SELECT, 3 = DELETE
+  byte 1      key field length (always 4)
+  bytes 2-3   blob length (B)
+  bytes 4-7   key (int32)
+  bytes 8-11  value (int32, INSERT only)
+  bytes 12..  B pad blob bytes (INSERT only)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+SOURCE = r"""
+struct Row { int key; int val; char pad[12]; };
+struct BNode { int key; int live; struct Row *row;
+               struct BNode *left; struct BNode *right; };
+
+struct BNode *g_root;
+int g_nodes;
+char g_req[512];
+char g_out[32];
+char g_stage[12];
+
+int req_int(int off) {
+    return (g_req[off] & 255) | ((g_req[off + 1] & 255) << 8)
+         | ((g_req[off + 2] & 255) << 16) | ((g_req[off + 3] & 255) << 24);
+}
+
+struct BNode *make_node(int key) {
+    struct BNode *fresh = (struct BNode*)malloc(sizeof(struct BNode));
+    fresh->key = key;
+    fresh->live = 0;
+    fresh->row = (struct Row*)malloc(sizeof(struct Row));
+    fresh->row->key = key;
+    fresh->row->val = 0;
+    for (int j = 0; j < 12; j++) fresh->row->pad[j] = 0;
+    fresh->left = (struct BNode*)0;
+    fresh->right = (struct BNode*)0;
+    g_nodes++;
+    return fresh;
+}
+
+struct BNode *find_node(int key) {
+    struct BNode *cur = g_root;
+    while (cur) {
+        if (key == cur->key) return cur;
+        if (key < cur->key) cur = cur->left;
+        else cur = cur->right;
+    }
+    return (struct BNode*)0;
+}
+
+struct BNode *upsert_node(int key) {
+    if (!g_root) { g_root = make_node(key); return g_root; }
+    struct BNode *cur = g_root;
+    while (1) {
+        if (key == cur->key) return cur;
+        if (key < cur->key) {
+            if (cur->left) { cur = cur->left; }
+            else { cur->left = make_node(key); return cur->left; }
+        } else {
+            if (cur->right) { cur = cur->right; }
+            else { cur->right = make_node(key); return cur->right; }
+        }
+    }
+    return (struct BNode*)0;
+}
+
+int handle_insert(int bloblen, int conn) {
+    memset(g_stage, 0, 12);
+    // Length-trusting blob copy: bloblen comes straight from the header.
+    memcpy(g_stage, g_req + 12, bloblen);
+    int key = req_int(4);
+    struct BNode *node = upsert_node(key);
+    node->live = 1;
+    node->row->val = req_int(8);
+    for (int j = 0; j < 12; j++) node->row->pad[j] = g_stage[j];
+    net_send(conn, "I", 1);
+    return 1;
+}
+
+int handle_select(int conn) {
+    struct BNode *node = find_node(req_int(4));
+    if (node && node->live) {
+        g_out[0] = node->row->val & 255;
+        g_out[1] = (node->row->val >> 8) & 255;
+        g_out[2] = (node->row->val >> 16) & 255;
+        g_out[3] = (node->row->val >> 24) & 255;
+        net_send(conn, g_out, 4);
+        return 1;
+    }
+    net_send(conn, "N", 1);
+    return 0;
+}
+
+int handle_delete(int conn) {
+    struct BNode *node = find_node(req_int(4));
+    if (node && node->live) {
+        node->live = 0;
+        net_send(conn, "D", 1);
+        return 1;
+    }
+    net_send(conn, "N", 1);
+    return 0;
+}
+
+int main(int n, int threads) {
+    int served = 0;
+    int hits = 0;
+    for (int r = 0; r < n; r++) {
+        int got = net_recv(0, g_req, 512);
+        if (got <= 0) break;
+        int op = g_req[0] & 255;
+        int bloblen = (g_req[2] & 255) | ((g_req[3] & 255) << 8);
+        if (op == 1) {
+            hits += handle_insert(bloblen, 0);
+        } else if (op == 2) {
+            hits += handle_select(0);
+        } else if (op == 3) {
+            hits += handle_delete(0);
+        }
+        served++;
+    }
+    if (hits < 0) return -1;   // keep the hit accounting live
+    return served;
+}
+"""
+
+
+SNAPSHOT_OP = 9
+RESTORE_OP = 10
+#: Same guard scheme as the memcached recovery build: four magic bytes in
+#: the key field, so a bit-flipped client opcode never reaches the
+#: control handlers.
+CONTROL_MAGIC = bytes((0xA5, 0x5A, 0xC3, 0x3C))
+SNAPSHOT_END = b"DONE"
+#: Snapshot record layout: key[4] + val[4] + pad[12].
+RECORD_LEN = 20
+
+_RECOVERY_HELPERS = r"""
+char g_snap[32];
+
+int snap_magic_ok(int keylen) {
+    if (keylen != 4) return 0;
+    if ((g_req[4] & 255) != 165) return 0;
+    if ((g_req[5] & 255) != 90) return 0;
+    if ((g_req[6] & 255) != 195) return 0;
+    if ((g_req[7] & 255) != 60) return 0;
+    return 1;
+}
+
+void emit_node(struct BNode *node, int conn) {
+    if (!node) return;
+    emit_node(node->left, conn);
+    if (node->live) {
+        g_snap[0] = node->key & 255;
+        g_snap[1] = (node->key >> 8) & 255;
+        g_snap[2] = (node->key >> 16) & 255;
+        g_snap[3] = (node->key >> 24) & 255;
+        g_snap[4] = node->row->val & 255;
+        g_snap[5] = (node->row->val >> 8) & 255;
+        g_snap[6] = (node->row->val >> 16) & 255;
+        g_snap[7] = (node->row->val >> 24) & 255;
+        for (int j = 0; j < 12; j++) g_snap[8 + j] = node->row->pad[j];
+        net_send(conn, g_snap, 20);
+    }
+    emit_node(node->right, conn);
+}
+
+int snapshot_dump(int conn) {
+    emit_node(g_root, conn);
+    net_send(conn, "DONE", 4);
+    return 1;
+}
+
+int restore_row(int bloblen, int conn) {
+    if (bloblen > 12) { net_send(conn, "X", 1); return 0; }
+    struct BNode *node = upsert_node(req_int(8));
+    node->live = 1;
+    node->row->val = req_int(12);
+    for (int j = 0; j < bloblen; j++) node->row->pad[j] = g_req[16 + j];
+    net_send(conn, "R", 1);
+    return 1;
+}
+
+int main("""
+
+_RECOVERY_DISPATCH = r"""        } else if (op == 3) {
+            hits += handle_delete(0);
+        } else if (op == 9) {
+            if (snap_magic_ok(g_req[1] & 255)) { snapshot_dump(0); }
+        } else if (op == 10) {
+            if (snap_magic_ok(g_req[1] & 255)) { restore_row(bloblen, 0); }
+        }"""
+
+
+def _recovery_source() -> str:
+    """Derive the recovery build from ``SOURCE`` (never edit both)."""
+    anchors = (
+        ("int main(", _RECOVERY_HELPERS),
+        ("        int got = net_recv(0, g_req, 512);\n"
+         "        if (got <= 0) break;",
+         "        int got = net_recv(0, g_req, 512);\n"
+         "        if (got <= 0) break;\n"
+         "        memset(g_req + got, 0, 512 - got);"),
+        ("        } else if (op == 3) {\n"
+         "            hits += handle_delete(0);\n"
+         "        }",
+         _RECOVERY_DISPATCH),
+    )
+    source = SOURCE
+    for old, new in anchors:
+        if old not in source:
+            raise RuntimeError(
+                f"sqlite_server RECOVERY_SOURCE anchor vanished: {old[:40]!r}")
+        source = source.replace(old, new, 1)
+    return source
+
+
+RECOVERY_SOURCE = _recovery_source()
+
+
+def _scramble(i: int) -> int:
+    return (i * 2654435761) & 0x7FFFFFFF
+
+
+def make_request(op: int, key: int, value: int = 0, pad: bytes = b"",
+                 claimed_len: int = -1) -> bytes:
+    """Build one protocol request; ``claimed_len`` overrides the header's
+    blob length (the attack knob)."""
+    bloblen = len(pad) if claimed_len < 0 else claimed_len
+    return (bytes((op, 4)) + struct.pack("<H", bloblen)
+            + struct.pack("<ii", key, value) + pad)
+
+
+#: Per-10-request op pattern: 4 INSERTs, 1 DELETE, 5 SELECTs — the
+#: write-heavy mix the recovery experiments need (every lost tick of
+#: writes shows up as RPO).
+_PATTERN = (1, 2, 1, 2, 3, 1, 2, 1, 2, 2)
+
+
+def workload(n: int) -> List[bytes]:
+    """Deterministic write-heavy trace over a reused key space."""
+    requests = []
+    span = max(n // 3, 1)
+    for i in range(n):
+        op = _PATTERN[i % 10]
+        key = _scramble(i % span)
+        if op == 1:
+            pad = bytes((i + j) & 0xFF for j in range(12))
+            requests.append(make_request(1, key, value=i, pad=pad))
+        else:
+            requests.append(make_request(op, key))
+    return requests
+
+
+# -- recovery hooks (repro.recovery drives these through the VM) -----------
+def is_mutating(request: bytes) -> bool:
+    """INSERT and DELETE change the tree; SELECT does not."""
+    return len(request) >= 1 and request[0] in (1, 3)
+
+
+def snapshot_request() -> bytes:
+    return bytes((SNAPSHOT_OP, 4)) + struct.pack("<H", 0) + CONTROL_MAGIC
+
+
+def restore_request(record: bytes) -> bytes:
+    """Control request re-inserting one snapshot ``record``
+    (key[4] + val[4] + pad[12], exactly as ``emit_node`` emits)."""
+    if len(record) != RECORD_LEN:
+        raise ValueError(f"bad sqlite_server snapshot record: {record!r}")
+    return (bytes((RESTORE_OP, 4)) + struct.pack("<H", 12)
+            + CONTROL_MAGIC + record)
+
+
+def parse_snapshot(messages) -> List[bytes]:
+    """Validate a snapshot dump reply stream; returns the records."""
+    if not messages or messages[-1] != SNAPSHOT_END:
+        raise ValueError("sqlite_server snapshot dump not terminated")
+    records = list(messages[:-1])
+    for record in records:
+        if len(record) != RECORD_LEN:
+            raise ValueError(f"bad sqlite_server snapshot record: {record!r}")
+    return records
+
+
+def blob_overflow_request(claimed: int = 64) -> bytes:
+    """The attack: INSERT claiming a 64-byte blob for the 12-byte staging
+    buffer (actual payload only 8 bytes)."""
+    return make_request(1, key=0xBADD, value=7, pad=b"B" * 8,
+                        claimed_len=claimed)
+
+
+SIZES = {"XS": 60, "S": 240, "M": 700, "L": 1800, "XL": 4500}

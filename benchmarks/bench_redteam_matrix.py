@@ -1,0 +1,77 @@
+"""Redteam detection matrix: Table-4 shape over the synthesized catalog.
+
+The assertions pin the paper's categorical claims (§6.6 extended with
+the attack classes the fixed RIPE set cannot express):
+
+* MPX is blind to laundered pointers (no bndldx for an integer load),
+* object-granularity schemes are blind to in-struct overflows,
+* SGXBounds' tag survives int<->pointer casts, so it catches every
+  adjacent-object class (direct, laundered, off-by-N, underflow),
+* Baggy's power-of-two allocation bounds miss within-padding off-by-N,
+* boundless mode converts aborts into bounded, *measured* leakage
+  (nonzero leaked_bytes under boundless, none recorded under abort),
+* benign boundary twins trip zero false positives everywhere.
+"""
+
+from repro.redteam import matrix
+
+
+def _detected(grid, cls, scheme):
+    return grid[cls][scheme]["detected"]
+
+
+def test_redteam_matrix(benchmark, save_result):
+    data, text = benchmark.pedantic(matrix.run_matrix,
+                                    rounds=1, iterations=1)
+    save_result("redteam_matrix", text)
+    grid = data["grid"]
+
+    # Native prevents nothing, across every class.
+    assert all(_detected(grid, cls, "native") == 0 for cls in grid)
+
+    # In-struct overflows are invisible at object granularity.
+    for scheme in ("sgxbounds", "asan", "mpx", "baggy"):
+        assert _detected(grid, "in-struct", scheme) == 0
+
+    # The laundered int<->pointer cast blinds MPX and only MPX among the
+    # pointer-tracking schemes; SGXBounds' tag rides inside the value.
+    total = grid["adjacent-laundered"]["mpx"]["total"]
+    assert _detected(grid, "adjacent-laundered", "mpx") == 0
+    assert grid["adjacent-laundered"]["mpx"]["exploited"] == total
+    assert _detected(grid, "adjacent-laundered", "sgxbounds") == total
+    assert _detected(grid, "adjacent-laundered", "asan") == total
+
+    # SGXBounds catches every adjacent-object class in full.
+    for cls in ("adjacent-direct", "adjacent-laundered", "off-by-n",
+                "underflow"):
+        assert _detected(grid, cls, "sgxbounds") == grid[cls]["sgxbounds"]["total"]
+
+    # Baggy's allocation bounds cannot see within-padding off-by-N.
+    assert _detected(grid, "off-by-n", "baggy") == 0
+
+    # ASan's shadow passes redzone-jumping underflow reads; temporal
+    # (quarantine) is its exclusive.
+    assert _detected(grid, "underflow", "asan") < grid["underflow"]["asan"]["total"]
+    assert _detected(grid, "temporal", "asan") > 0
+    assert _detected(grid, "temporal", "sgxbounds") == 0
+
+    # Interface attacks: every protected bounds scheme with object
+    # granularity stops the whole hostile-request set.
+    for scheme in ("sgxbounds", "asan", "mpx"):
+        assert _detected(grid, "interface", scheme) == grid["interface"][scheme]["total"]
+
+    # Benign boundary twins: zero false positives everywhere.
+    for scheme, fp in data["false_positives"].items():
+        assert fp["false_positives"] == 0, (scheme, fp["flagged"])
+
+    # Boundless converts aborts into bounded, measured leakage.
+    leaks = data["boundless_leaks"]
+    assert leaks["sgxbounds/boundless"]["leaked_bytes"] > 0
+    assert leaks["sgxbounds/boundless"]["oblivious_reads"] > 0
+    assert "sgxbounds/abort" not in leaks
+
+    # The under-load column exists for every scheme in the sweep.
+    storm_schemes = {row["scheme"] for row in data["under_load"]}
+    assert storm_schemes == set(data["schemes"])
+    assert all(0.0 <= row["availability"] <= 1.0
+               for row in data["under_load"])

@@ -43,11 +43,12 @@ EXPERIMENTS = {
     "chaos": lambda args: _chaos(args),
     "fleet": lambda args: _fleet(args),
     "recover": lambda args: _recover(args),
+    "redteam": lambda args: _redteam(args),
 }
 
 #: Experiments whose stdout must be byte-identical across runs (CI diffs
 #: them); their wall-clock timing line goes to stderr instead.
-_STDERR_TIMING = {"fleet", "recover"}
+_STDERR_TIMING = {"fleet", "recover", "redteam"}
 
 
 def _postmortem(args) -> int:
@@ -148,6 +149,20 @@ def _recover(args):
         document = results_mod.result_document("recovery_rpo",
                                                {"cells": cells})
         results_mod.write_json(args.results_out, document)
+        print(f"[results -> {args.results_out}]", file=sys.stderr)
+    return data, text
+
+
+def _redteam(args):
+    """Attack-synthesis triage sweep + detection matrix (ISSUE 7).
+
+    Stdout is byte-identical per seed (CI diffs two runs); with
+    ``--results-out`` the versioned matrix artifact is written too."""
+    from repro.redteam import matrix_document, run_matrix
+    data, text = run_matrix(seed=args.seed)
+    if args.results_out:
+        from repro.telemetry import results as results_mod
+        results_mod.write_json(args.results_out, matrix_document(data))
         print(f"[results -> {args.results_out}]", file=sys.stderr)
     return data, text
 

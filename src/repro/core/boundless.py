@@ -31,6 +31,10 @@ if TYPE_CHECKING:   # pragma: no cover - typing only
 CHUNK_SIZE = 1024
 DEFAULT_CAPACITY = 1024 * 1024   # 1 MiB of overlay, as in the paper
 
+#: Per-request leak tallies kept at most this many entries; totals keep
+#: counting past the cap (long campaigns must stay bounded).
+LEAK_TALLY_CAP = 512
+
 
 class BoundlessCache:
     """LRU map from out-of-bounds chunk keys to overlay chunks."""
@@ -51,6 +55,14 @@ class BoundlessCache:
         self.misses = 0
         self.allocations = 0
         self.evictions = 0
+        #: Leaked-bytes accounting: every failure-oblivious *read* that
+        #: crossed an object boundary is an information-disclosure
+        #: opportunity the redteam triage must price, whether it was
+        #: served from a written chunk or from manufactured zeros.
+        self.oblivious_reads = 0
+        self.leaked_bytes = 0
+        self.leaked_by_request: Dict[int, int] = {}
+        self.leak_tally_dropped = 0
 
     # -- backing storage -------------------------------------------------
     def _alloc_chunk(self, vm: "VM") -> int:
@@ -70,6 +82,30 @@ class BoundlessCache:
             self._zero_page = page
         return self._zero_page
 
+    # -- leaked-bytes accounting ----------------------------------------
+    def note_oblivious_read(self, vm: "VM", nbytes: int) -> None:
+        """Tally ``nbytes`` of failure-oblivious read past an object
+        boundary (redirected plain loads and clamped libc tails alike).
+
+        Totals are unconditional; the per-request breakdown is bounded
+        by :data:`LEAK_TALLY_CAP` and telemetry counters fire only when a
+        registry is attached, so default runs stay counter-identical.
+        """
+        self.oblivious_reads += 1
+        self.leaked_bytes += nbytes
+        rid = getattr(vm, "request_id", None)
+        if rid is not None:
+            tally = self.leaked_by_request
+            if rid in tally or len(tally) < LEAK_TALLY_CAP:
+                tally[rid] = tally.get(rid, 0) + nbytes
+            else:
+                self.leak_tally_dropped += 1
+        telemetry = getattr(vm, "telemetry", None)
+        if telemetry is not None:
+            registry = telemetry.registry
+            registry.counter("boundless.oblivious_reads").inc()
+            registry.counter("boundless.leaked_bytes").inc(nbytes)
+
     # -- translation ---------------------------------------------------------
     def translate(self, vm: "VM", address: int, size: int,
                   is_write: bool) -> int:
@@ -78,6 +114,8 @@ class BoundlessCache:
         offset = address % self.chunk_size
         current = getattr(vm, "current", None)
         tid = current.tid if current is not None else -1
+        if not is_write:
+            self.note_oblivious_read(vm, size)
         chunk = self._chunks.get(key)
         if chunk is not None:
             # Refresh LRU position.
@@ -129,4 +167,7 @@ class BoundlessCache:
             "misses": self.misses,
             "allocations": self.allocations,
             "evictions": self.evictions,
+            "oblivious_reads": self.oblivious_reads,
+            "leaked_bytes": self.leaked_bytes,
+            "requests_with_leaks": len(self.leaked_by_request),
         }

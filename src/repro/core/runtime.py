@@ -176,6 +176,10 @@ class SGXBoundsScheme(SchemeRuntime):
                 what="libc wrapper: below lower bound"))
             if self.policy == violation_policy.LOG_AND_CONTINUE:
                 return (address, size)   # audit only: raw access proceeds
+            if self.boundless and not is_write:
+                # The wrapper will manufacture the whole range (zero fill):
+                # all of it is boundary-crossing read volume to account.
+                self.overlay.note_oblivious_read(vm, size)
             return (address, 0)
         if address + size > upper:
             self.handle_violation(vm, BoundsViolation(
@@ -183,7 +187,13 @@ class SGXBoundsScheme(SchemeRuntime):
                 what="libc wrapper: beyond upper bound"))
             if self.policy == violation_policy.LOG_AND_CONTINUE:
                 return (address, size)   # audit only: raw overflow proceeds
-            return (address, max(0, upper - address))
+            valid = max(0, upper - address)
+            if self.boundless and not is_write:
+                # Clamped tail (e.g. Heartbleed's over-long memcpy source):
+                # the caller still receives size bytes, the out-of-bounds
+                # tail manufactured as zeros — bounded, *measured* leakage.
+                self.overlay.note_oblivious_read(vm, size - valid)
+            return (address, valid)
         return (address, size)
 
     # -- slow path ----------------------------------------------------------------------

@@ -62,6 +62,12 @@ class CampaignConfig:
     #: Poison storm: ``(start_tick, end_tick, rate)`` — within the window
     #: arrivals are fuzzed at ``rate`` instead of ``fault_rate``.
     storm: Tuple[int, int, float] = ()
+    #: Seeded attack payloads for the storm window: when non-empty the
+    #: storm fuzzer draws exclusively from these (oob-probe strategy over
+    #: the given bytes) instead of the app's chaos profile — this is how
+    #: the redteam harness interleaves its attack catalog with legitimate
+    #: traffic.  Empty keeps the storm exactly as before.
+    storm_attacks: Tuple[bytes, ...] = ()
     #: Scripted livelock: ``(tick, worker, duration_ticks)`` — the worker
     #: hangs mid-request until the watchdog kills it.
     hang: Tuple[int, int, int] = ()
@@ -171,10 +177,17 @@ def run_campaign(config: CampaignConfig, telemetry=None,
     fuzzed_trace = fuzzer.apply(requests)
     storm_trace = None
     if config.storm:
-        storm_fuzzer = RequestFuzzer(
-            derive(config.seed, f"fleet-storm:{config.app}"),
-            config.storm[2], profile.length_field, profile.attacks,
-            profile.weights)
+        if config.storm_attacks:
+            attacks = tuple((lambda p=p: p) for p in config.storm_attacks)
+            storm_fuzzer = RequestFuzzer(
+                derive(config.seed, f"fleet-storm:{config.app}"),
+                config.storm[2], profile.length_field, attacks,
+                {"oob-probe": 1.0})
+        else:
+            storm_fuzzer = RequestFuzzer(
+                derive(config.seed, f"fleet-storm:{config.app}"),
+                config.storm[2], profile.length_field, profile.attacks,
+                profile.weights)
         storm_trace = storm_fuzzer.apply(requests)
 
     source = mod.SOURCE

@@ -119,6 +119,23 @@ def profile_experiment(target: str, size: str = "XS",
             f"vs {baseline}) — extra-cycle shares",
             ["scheme", "status", "overhead", "extra_cycles",
              "check%", "cache%", "epc%"], rows))
+        # Failure-oblivious leakage accounting, when any run went
+        # boundless (zero-cost and absent on the default abort paths).
+        leak_rows = []
+        for scheme in schemes:
+            registry = runs[scheme]["registry"]
+            reads = registry.get("boundless.oblivious_reads",
+                                 {}).get("value", 0)
+            if reads:
+                leak_rows.append([
+                    scheme, reads,
+                    registry.get("boundless.leaked_bytes",
+                                 {}).get("value", 0)])
+        if leak_rows:
+            chunks.append(report.series_table(
+                f"Boundless leakage: {workload.name} (size {size}) — "
+                f"oblivious reads past object bounds",
+                ["scheme", "oblivious_reads", "leaked_bytes"], leak_rows))
     # One exemplar flame table: the baseline profile of the last workload.
     flame = flame_rows(profiles[baseline], cost, enclave, limit=flame_limit)
     chunks.append(report.series_table(

@@ -1,0 +1,46 @@
+"""Redteam subsystem: attack synthesis, triage, and the detection matrix.
+
+Three layers (ISSUE 7 / paper §6.6 extended):
+
+* :mod:`repro.redteam.templates` — parameterized MiniC exploit templates
+  (in-struct, adjacent, laundered, off-by-N, underflow, temporal) plus
+  TeeRex-style hostile request-interface attacks and benign boundary
+  twins for false-positive measurement;
+* :mod:`repro.redteam.triage` — runs one attack under one scheme ×
+  violation policy and classifies the outcome (detected / crash /
+  no-effect / silent-corruption / control-flow-hijack / info-leak) with
+  evidence attached;
+* :mod:`repro.redteam.matrix` — the scheme × attack-class detection
+  grid, false-positive table, boundless leaked-bytes accounting, and the
+  fleet-storm "under load" availability column
+  (:mod:`repro.redteam.storm`).
+"""
+
+from repro.redteam.matrix import (
+    MATRIX_POLICIES,
+    MATRIX_SCHEMES,
+    matrix_document,
+    run_matrix,
+)
+from repro.redteam.templates import (
+    ATTACK_CLASSES,
+    AttackSpec,
+    compile_catalog,
+    compile_twins,
+)
+from repro.redteam.triage import EXPLOITED, LABELS, TriageRecord, triage
+
+__all__ = [
+    "ATTACK_CLASSES",
+    "AttackSpec",
+    "EXPLOITED",
+    "LABELS",
+    "MATRIX_POLICIES",
+    "MATRIX_SCHEMES",
+    "TriageRecord",
+    "compile_catalog",
+    "compile_twins",
+    "matrix_document",
+    "run_matrix",
+    "triage",
+]

@@ -1,0 +1,212 @@
+"""Detection-matrix reporter: scheme × attack-class grid + triage detail.
+
+The redteam's headline artifact.  For every scheme it answers, per attack
+class: how many of the class's attacks were *detected* (fail-stop), what
+the undetected ones actually bought the attacker (triage breakdown), how
+the scheme behaves when it keeps running (boundless column: contained,
+with leaked bytes *measured* by the overlay tally), whether benign
+boundary twins trip false positives, and — via the fleet storm — how
+much availability the scheme preserves while the same attacks arrive
+interleaved with production traffic.
+
+Everything is seeded and visited in catalog order; two runs with the
+same seed produce byte-identical text and JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness import report
+from repro.redteam import storm as storm_mod
+from repro.redteam.templates import (
+    ATTACK_CLASSES,
+    AttackSpec,
+    compile_catalog,
+    compile_twins,
+)
+from repro.redteam.triage import (
+    DETECTED,
+    EXPLOITED,
+    LABELS,
+    NO_EFFECT,
+    TriageRecord,
+    triage,
+)
+from repro.telemetry.results import result_document
+
+#: Matrix column order: the paper's Table 4 schemes + the Baggy extension.
+MATRIX_SCHEMES = ("native", "sgxbounds", "asan", "mpx", "baggy")
+
+#: Policies each protected scheme is triaged under.  Native has no
+#: violation policy; it runs once and is reported under "-".
+MATRIX_POLICIES = ("abort", "boundless")
+
+#: Apps whose interface attacks also run as fleet storms.
+STORM_APPS = ("memcached",)
+
+
+def _policy_axis(scheme: str, policies: Sequence[str]) -> Tuple[str, ...]:
+    return ("-",) if scheme == "native" else tuple(policies)
+
+
+def run_matrix(seed: int = 1234,
+               schemes: Sequence[str] = MATRIX_SCHEMES,
+               policies: Sequence[str] = MATRIX_POLICIES,
+               under_load: bool = True,
+               catalog: Optional[Sequence[AttackSpec]] = None,
+               twins: Optional[Sequence[AttackSpec]] = None
+               ) -> Tuple[Dict, str]:
+    """Run the full triage sweep; returns ``(data, text)``.
+
+    ``data`` is the versioned artifact payload (see ``result_document``
+    call in :func:`matrix_document`); ``text`` is the deterministic
+    stdout report.
+    """
+    catalog = tuple(catalog if catalog is not None else compile_catalog())
+    twins = tuple(twins if twins is not None else compile_twins())
+    records: List[TriageRecord] = []
+    for scheme in schemes:
+        for policy in _policy_axis(scheme, policies):
+            run_policy = "abort" if policy == "-" else policy
+            for spec in catalog:
+                records.append(triage(spec, scheme, run_policy, seed=seed))
+                if policy == "-":
+                    records[-1].policy = "-"
+    twin_records: List[TriageRecord] = []
+    for scheme in schemes:
+        for spec in twins:
+            rec = triage(spec, scheme, "abort", seed=seed)
+            if scheme == "native":
+                rec.policy = "-"
+            twin_records.append(rec)
+
+    classes = [c for c in ATTACK_CLASSES
+               if any(s.attack_class == c for s in catalog)]
+    grid: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for cls in classes:
+        grid[cls] = {}
+        for scheme in schemes:
+            fail_stop = [r for r in records
+                         if r.attack_class == cls and r.scheme == scheme
+                         and r.policy in ("abort", "-")]
+            grid[cls][scheme] = {
+                "detected": sum(1 for r in fail_stop if r.label == DETECTED),
+                "exploited": sum(1 for r in fail_stop
+                                 if r.label in EXPLOITED),
+                "total": len(fail_stop),
+            }
+
+    breakdown: Dict[str, Dict[str, int]] = {}
+    for rec in records:
+        key = f"{rec.scheme}/{rec.policy}"
+        row = breakdown.setdefault(key, {label: 0 for label in LABELS})
+        row[rec.label] += 1
+
+    false_positives: Dict[str, Dict[str, object]] = {}
+    for scheme in schemes:
+        mine = [r for r in twin_records if r.scheme == scheme]
+        flagged = [r.attack for r in mine if r.label != NO_EFFECT]
+        false_positives[scheme] = {
+            "false_positives": len(flagged),
+            "twins": len(mine),
+            "flagged": flagged,
+        }
+
+    leaks: Dict[str, Dict[str, int]] = {}
+    for scheme in schemes:
+        for policy in _policy_axis(scheme, policies):
+            mine = [r for r in records
+                    if r.scheme == scheme and r.policy == policy]
+            reads = sum(r.evidence.get("oblivious_reads", 0) for r in mine)
+            if reads:
+                leaks[f"{scheme}/{policy}"] = {
+                    "oblivious_reads": reads,
+                    "leaked_bytes": sum(r.evidence.get("leaked_bytes", 0)
+                                        for r in mine),
+                }
+
+    storm_rows: List[Dict[str, object]] = []
+    if under_load:
+        for app in STORM_APPS:
+            for scheme in schemes:
+                storm_rows.append(storm_mod.availability_under_attack(
+                    scheme, app=app, seed=seed, catalog=catalog))
+
+    data = {
+        "seed": seed,
+        "schemes": list(schemes),
+        "policies": list(policies),
+        "attack_classes": classes,
+        "attacks": [s.name for s in catalog],
+        "twins": [s.name for s in twins],
+        "grid": grid,
+        "triage_breakdown": breakdown,
+        "false_positives": false_positives,
+        "boundless_leaks": leaks,
+        "under_load": storm_rows,
+        "records": [r.as_dict() for r in records],
+        "twin_records": [r.as_dict() for r in twin_records],
+    }
+    return data, _render(data)
+
+
+def _render(data: Dict) -> str:
+    schemes = data["schemes"]
+    chunks: List[str] = []
+    rows = []
+    for cls in data["attack_classes"]:
+        row: List[object] = [cls]
+        for scheme in schemes:
+            cell = data["grid"][cls][scheme]
+            row.append(f"{cell['detected']}/{cell['total']}")
+        rows.append(row)
+    chunks.append(report.series_table(
+        f"Detection matrix (fail-stop): detected/total per attack class "
+        f"(seed {data['seed']})",
+        ["class"] + list(schemes), rows))
+
+    rows = []
+    for key in sorted(data["triage_breakdown"]):
+        counts = data["triage_breakdown"][key]
+        rows.append([key] + [counts[label] for label in LABELS])
+    chunks.append(report.series_table(
+        "Triage breakdown: outcome counts per scheme/policy",
+        ["scheme/policy"] + list(LABELS), rows))
+
+    rows = []
+    for scheme in schemes:
+        fp = data["false_positives"][scheme]
+        rows.append([scheme, fp["false_positives"], fp["twins"],
+                     ",".join(fp["flagged"]) or "-"])
+    chunks.append(report.series_table(
+        "Benign boundary twins: false positives per scheme",
+        ["scheme", "false_pos", "twins", "flagged"], rows))
+
+    rows = []
+    for key in sorted(data["boundless_leaks"]):
+        leak = data["boundless_leaks"][key]
+        rows.append([key, leak["oblivious_reads"], leak["leaked_bytes"]])
+    if rows:
+        chunks.append(report.series_table(
+            "Failure-oblivious leakage: reads crossing object bounds "
+            "(boundless overlay tally)",
+            ["scheme/policy", "oblivious_reads", "leaked_bytes"], rows))
+
+    if data["under_load"]:
+        rows = [[s["app"], s["scheme"], s["policy"], s["availability"],
+                 s["served"], s["submitted"], s["attacks_injected"],
+                 s["crashes"], s["restarts"]]
+                for s in data["under_load"]]
+        chunks.append(report.series_table(
+            "Under load: attack storm interleaved with production traffic",
+            ["app", "scheme", "policy", "avail", "served", "submitted",
+             "attacks", "crashes", "restarts"], rows))
+    return "\n\n".join(chunks)
+
+
+def matrix_document(data: Dict) -> Dict:
+    """Versioned JSON artifact for ``--results-out``."""
+    slim = dict(data)
+    return result_document("redteam_matrix", slim,
+                           meta={"seed": data["seed"]})

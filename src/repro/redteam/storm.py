@@ -1,0 +1,65 @@
+"""Attack storms against a live fleet: availability under attack.
+
+The detection matrix prices each attack in isolation; production asks a
+different question — when the attack catalog is interleaved with
+legitimate traffic against a supervised fleet, how much service survives?
+This module runs one seeded campaign per scheme with the redteam's
+interface payloads injected through the campaign's storm window, and
+reports the SLOTracker's availability plus the fleet's crash/restart
+toll.  Everything derives from the campaign seed, so the "under load"
+column is as byte-stable as the rest of the matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.fleet.campaign import CampaignConfig, run_campaign
+from repro.redteam.templates import AttackSpec, compile_catalog
+
+#: Storm window (ticks) and in-window fuzz rate for the default campaign.
+STORM_WINDOW = (5, 25)
+STORM_RATE = 1.0
+
+
+def attack_payloads(app: str,
+                    catalog: Sequence[AttackSpec] = ()) -> Tuple[bytes, ...]:
+    """Every interface-attack request the catalog aims at ``app``."""
+    specs = catalog or compile_catalog()
+    out = []
+    for spec in specs:
+        if spec.kind == "interface" and spec.app == app:
+            out.extend(spec.requests)
+    return tuple(out)
+
+
+def availability_under_attack(scheme: str, app: str = "memcached",
+                              policy: str = "drop-request",
+                              workers: int = 4, size: str = "XS",
+                              seed: int = 1234,
+                              catalog: Sequence[AttackSpec] = ()
+                              ) -> Dict[str, object]:
+    """One campaign: legit traffic + a storm of redteam payloads."""
+    payloads = attack_payloads(app, catalog)
+    if not payloads:
+        raise ValueError(f"no interface attacks target app {app!r}")
+    config = CampaignConfig(
+        app=app, scheme=scheme,
+        policy=policy if scheme != "native" else "abort",
+        workers=workers, fault_rate=0.0, seed=seed, size=size,
+        storm=(STORM_WINDOW[0], STORM_WINDOW[1], STORM_RATE),
+        storm_attacks=payloads)
+    result = run_campaign(config)
+    slo = result.slo
+    return {
+        "app": app,
+        "scheme": scheme,
+        "policy": config.policy,
+        "availability": slo["availability"],
+        "served": slo["served"],
+        "submitted": slo["submitted"],
+        "attacks_injected": result.fuzzed_requests,
+        "crashes": result.crashes,
+        "restarts": result.supervisor.get("restarts", 0),
+        "ticks": result.ticks,
+    }

@@ -51,6 +51,60 @@ class TestSchemeOutcomes:
         assert outcome == ripe.FAILED
 
 
+#: The full Table-4 grid, verbatim: every attack id × every scheme.
+#: Totals alone can hide a flipped pair (one false negative cancelling a
+#: false positive); this pins each of the 64 cells individually.
+_S, _P = ripe.SUCCEEDED, ripe.PREVENTED
+TABLE4_GRID = {
+    "instruct_stack_funcptr":   {"native": _S, "sgxbounds": _S, "asan": _S, "mpx": _S},
+    "instruct_stack_auth":      {"native": _S, "sgxbounds": _S, "asan": _S, "mpx": _S},
+    "instruct_heap_funcptr":    {"native": _S, "sgxbounds": _S, "asan": _S, "mpx": _S},
+    "instruct_heap_auth":       {"native": _S, "sgxbounds": _S, "asan": _S, "mpx": _S},
+    "instruct_data_funcptr":    {"native": _S, "sgxbounds": _S, "asan": _S, "mpx": _S},
+    "instruct_data_auth":       {"native": _S, "sgxbounds": _S, "asan": _S, "mpx": _S},
+    "instruct_bss_funcptr":     {"native": _S, "sgxbounds": _S, "asan": _S, "mpx": _S},
+    "instruct_bss_auth":        {"native": _S, "sgxbounds": _S, "asan": _S, "mpx": _S},
+    "direct_stack_funcptr":     {"native": _S, "sgxbounds": _P, "asan": _P, "mpx": _P},
+    "direct_stack_retaddr":     {"native": _S, "sgxbounds": _P, "asan": _P, "mpx": _P},
+    "laundered_heap_funcptr":   {"native": _S, "sgxbounds": _P, "asan": _P, "mpx": _S},
+    "laundered_heap_auth":      {"native": _S, "sgxbounds": _P, "asan": _P, "mpx": _S},
+    "laundered_data_funcptr":   {"native": _S, "sgxbounds": _P, "asan": _P, "mpx": _S},
+    "laundered_data_auth":      {"native": _S, "sgxbounds": _P, "asan": _P, "mpx": _S},
+    "laundered_stack_funcptr":  {"native": _S, "sgxbounds": _P, "asan": _P, "mpx": _S},
+    "laundered_heap_memcpy":    {"native": _S, "sgxbounds": _P, "asan": _P, "mpx": _S},
+}
+
+_FACTORIES = {
+    "native": lambda: None,
+    "sgxbounds": SGXBoundsScheme,
+    "asan": ASanScheme,
+    "mpx": MPXScheme,
+}
+
+
+class TestTable4Grid:
+    def test_grid_covers_every_attack(self):
+        assert set(TABLE4_GRID) == set(ripe.ATTACKS)
+
+    @pytest.mark.parametrize("scheme", list(_FACTORIES))
+    def test_per_attack_outcomes_verbatim(self, scheme):
+        """Each scheme's column must match the expected grid cell-for-cell
+        — compare whole columns so a mismatch names the exact attack."""
+        column = {name: ripe.run_attack(name, _FACTORIES[scheme]())
+                  for name in ripe.ATTACKS}
+        expected = {name: TABLE4_GRID[name][scheme]
+                    for name in ripe.ATTACKS}
+        assert column == expected
+
+    def test_ripe_table_agrees_with_grid(self):
+        """ripe_table (the Table-4 generator) must report exactly the
+        grid, not merely matching totals."""
+        table = ripe.ripe_table(_FACTORIES)
+        for scheme, outcomes in table.items():
+            assert outcomes == {name: TABLE4_GRID[name][scheme]
+                                for name in ripe.ATTACKS}
+
+
 class TestTableTotals:
     def test_table4(self):
         table = ripe.ripe_table({

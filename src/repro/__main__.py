@@ -44,11 +44,12 @@ EXPERIMENTS = {
     "fleet": lambda args: _fleet(args),
     "recover": lambda args: _recover(args),
     "redteam": lambda args: _redteam(args),
+    "overload": lambda args: _overload(args),
 }
 
 #: Experiments whose stdout must be byte-identical across runs (CI diffs
 #: them); their wall-clock timing line goes to stderr instead.
-_STDERR_TIMING = {"fleet", "recover", "redteam"}
+_STDERR_TIMING = {"fleet", "recover", "redteam", "overload"}
 
 
 def _postmortem(args) -> int:
@@ -163,6 +164,25 @@ def _redteam(args):
     if args.results_out:
         from repro.telemetry import results as results_mod
         results_mod.write_json(args.results_out, matrix_document(data))
+        print(f"[results -> {args.results_out}]", file=sys.stderr)
+    return data, text
+
+
+def _overload(args):
+    """Overload-protection sweep (ISSUE 8): congestion collapse vs
+    admission control + retry budgets + brownout shedding.
+
+    Campaign shape (workers, fault rate, rates, deadline) is fixed by
+    the experiment so saturation deterministically occurs; only size and
+    seed come from the command line, keeping stdout diffable per seed."""
+    data, text = exp.overload_goodput(size=args.size, seed=args.seed)
+    if args.results_out:
+        from repro.telemetry import results as results_mod
+        cells = {"/".join(map(str, key)): value
+                 for key, value in data.items()}
+        document = results_mod.result_document("overload_goodput",
+                                               {"cells": cells})
+        results_mod.write_json(args.results_out, document)
         print(f"[results -> {args.results_out}]", file=sys.stderr)
     return data, text
 

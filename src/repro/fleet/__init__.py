@@ -26,7 +26,10 @@ hole.  This package simulates that layer end to end:
 Campaigns can additionally run with stateful recovery
 (:mod:`repro.recovery`): sealed checkpoints, write-ahead replay of
 acknowledged mutations, and replica failover — see
-:class:`repro.fleet.campaign.CampaignConfig.recovery`.
+:class:`repro.fleet.campaign.CampaignConfig.recovery` — and with
+overload protection (:mod:`repro.overload`): deadline-aware admission
+at the ingress queues, brownout priority shedding, and budgeted client
+retries — see :class:`repro.fleet.campaign.CampaignConfig.overload`.
 """
 
 from repro.fleet.balancer import Balancer, CircuitBreaker, Request

@@ -22,22 +22,44 @@ CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
 
+#: Dispatch order for classed pending queues, most important first.
+#: (Kept local so the balancer never imports :mod:`repro.overload`; the
+#: admission gate is duck-typed in.)
+PRIORITY_ORDER = ("critical", "normal", "sheddable")
+
 
 class Request:
     """One client request moving through the fleet."""
 
     __slots__ = ("rid", "payload", "arrival", "attempts", "status",
-                 "completed_at", "worker", "detail")
+                 "completed_at", "worker", "detail", "priority",
+                 "client_retries", "assigned_at", "started_at", "abandoned",
+                 "first_arrival")
 
-    def __init__(self, rid: int, payload: bytes, arrival: int):
+    def __init__(self, rid: int, payload: bytes, arrival: int,
+                 priority: str = "normal", client_retries: int = 0,
+                 first_arrival: Optional[int] = None):
         self.rid = rid
         self.payload = payload
         self.arrival = arrival
+        #: Tick the *first* client attempt for this rid arrived; client
+        #: retries restart ``arrival`` (each attempt gets fresh patience)
+        #: but goodput timeliness is end-to-end from here.
+        self.first_arrival = arrival if first_arrival is None \
+            else first_arrival
         self.attempts = 0
-        self.status: Optional[str] = None    # served | error | failed
+        self.status: Optional[str] = None    # served|error|failed|rejected
         self.completed_at: Optional[int] = None
         self.worker: Optional[int] = None
         self.detail = ""
+        self.priority = priority             # overload traffic class
+        self.client_retries = client_retries  # client-side resubmissions
+        self.assigned_at: Optional[int] = None   # bound to a worker queue
+        self.started_at: Optional[int] = None    # entered service
+        #: Client walked away (deadline) but the request stays queued at
+        #: its worker, which will serve it anyway — zombie work, the
+        #: wasted-capacity half of congestion collapse (naive mode only).
+        self.abandoned = False
 
     @property
     def terminal(self) -> bool:
@@ -97,7 +119,8 @@ class Balancer:
                  policy: str = ROUND_ROBIN, queue_cap: int = 2,
                  max_attempts: int = 2, hedge_stranded: bool = True,
                  breaker_threshold: int = 3, breaker_cooldown: int = 25,
-                 telemetry=None, forensics=None):
+                 telemetry=None, forensics=None, admission=None,
+                 tick_cycles: Optional[int] = None):
         if policy not in POLICIES:
             raise ValueError(f"unknown balance policy {policy!r}; "
                              f"expected one of {POLICIES}")
@@ -121,10 +144,59 @@ class Balancer:
             for wid in self.order}
         self._rr = 0
         self.failed_no_capacity = 0
+        #: Optional ``repro.overload.AdmissionController``; None keeps
+        #: every path below byte-identical to the pre-overload balancer.
+        self.admission = admission
+        self._protected = admission is not None and admission.enabled
+        #: Ticks→cycles conversion for watchdog backdating; None (the
+        #: default) disables backdating entirely.
+        self.tick_cycles = tick_cycles
+        self.rejected = 0
 
     # ------------------------------------------------------------------
-    def offer(self, request: Request) -> None:
+    def offer(self, request: Request, now: int = 0) -> Optional[Request]:
+        """Admit ``request`` into the pending queue.  With an admission
+        gate attached a request can be turned away right here; the
+        rejected (terminal) request is returned for the caller to
+        account, None means it was queued."""
+        if self.admission is not None:
+            reason = self.admission.admit_offer(
+                request, self.in_system(), self.supervisor.alive_count(),
+                now)
+            if reason is not None:
+                return self._reject(request, reason, now)
         self.pending.append(request)
+        return None
+
+    def _reject(self, request: Request, reason: str, now: int) -> Request:
+        request.status = "rejected"
+        request.detail = reason
+        request.completed_at = now
+        self.rejected += 1
+        self.admission.on_reject(request, reason, now)
+        # Surface the distinct RJCT frame on a live worker's client
+        # connection so NetworkSim's rejected counter (satellite of this
+        # PR) sees fleet rejections; costs zero enclave cycles.
+        for wid in self.order:
+            if self.supervisor.dispatchable(wid):
+                worker = self.workers[wid]
+                worker.vm.net.reject_request(worker.conn)
+                break
+        if self.forensics is not None:
+            self.forensics.fleet_event("request_rejected", now,
+                                       rid=request.rid, reason=reason)
+        return request
+
+    def _next_pending(self) -> Request:
+        """Head of the pending queue; under protection the classes form
+        strict bands (critical drains before normal before sheddable)."""
+        if self._protected and len(self.pending) > 1:
+            for cls in PRIORITY_ORDER:
+                for i, request in enumerate(self.pending):
+                    if request.priority == cls:
+                        del self.pending[i]
+                        return request
+        return self.pending.popleft()
 
     def outstanding(self, wid: int) -> int:
         return len(self.queues[wid]) + (1 if wid in self.inflight else 0)
@@ -155,13 +227,33 @@ class Balancer:
     def dispatch(self, now: int) -> List[Request]:
         """Assign pending requests to worker queues, then start idle
         workers on the head of their queue.  Returns requests that went
-        terminal here (backlog failed for lack of capacity)."""
+        terminal here (backlog failed for lack of capacity, or rejected
+        by the per-worker admission gate)."""
+        terminal: List[Request] = []
         while self.pending:
             eligible = self._eligible(now)
             if not eligible:
                 break
-            request = self.pending.popleft()
-            wid = self._pick(eligible)
+            request = self._next_pending()
+            choices = eligible
+            if self._protected and (request.attempts > 0
+                                    or request.client_retries > 0):
+                # Hedge suppression: a retried request never lands on a
+                # worker mid-probe — a half-open breaker's single probe
+                # slot is for establishing health, and stacking retries
+                # onto a recovering worker is how hedges re-kill it.
+                settled = [w for w in choices
+                           if self.breakers[w].state != HALF_OPEN]
+                if settled:
+                    choices = settled
+            wid = self._pick(choices)
+            if self.admission is not None:
+                reason = self.admission.admit_assign(
+                    request, self.outstanding(wid), now)
+                if reason is not None:
+                    terminal.append(self._reject(request, reason, now))
+                    continue
+            request.assigned_at = now
             self.queues[wid].append(request)
         for wid in self.order:
             if wid in self.inflight or not self.queues[wid]:
@@ -171,13 +263,22 @@ class Balancer:
             request = self.queues[wid].popleft()
             request.attempts += 1
             request.worker = wid
+            request.started_at = now
             self.inflight[wid] = request
             self.breakers[wid].on_dispatch()
-            self.workers[wid].submit(request.rid, request.payload)
+            if self.tick_cycles is not None:
+                assigned = request.assigned_at \
+                    if request.assigned_at is not None else now
+                self.workers[wid].submit(
+                    request.rid, request.payload,
+                    priority=request.priority,
+                    waited_cycles=max(0, now - assigned) * self.tick_cycles)
+            else:
+                self.workers[wid].submit(request.rid, request.payload)
         # Nobody left to serve the backlog: fail it fast.
         if self.supervisor.alive_count() == 0:
-            return self._fail_backlog(now)
-        return []
+            terminal.extend(self._fail_backlog(now))
+        return terminal
 
     # ------------------------------------------------------------------
     def on_outcome(self, wid: int, rid: int, status: str,
@@ -200,6 +301,14 @@ class Balancer:
                 if self.forensics is not None:
                     self.forensics.fleet_event("breaker_open", now, wid=wid)
         self.supervisor.on_outcome(wid, status)
+        if (self.admission is not None and status == "served"
+                and request.started_at is not None):
+            self.admission.on_served(max(1, now - request.started_at + 1))
+        if request.abandoned:
+            # Zombie completion: the client recorded this request as
+            # failed when it expired; the cycles just spent serving it
+            # were pure waste and must not resurface as a success.
+            return None
         request.status = status
         request.completed_at = now
         return request
@@ -239,11 +348,17 @@ class Balancer:
         if self.hedge_stranded:
             # Hedged re-dispatch: queue assignment never consumed an
             # attempt, so hand the whole queue straight back (in order).
+            # Zombies die with the worker — their client is long gone.
             while queued:
-                self.pending.appendleft(queued.pop())
+                waiting = queued.pop()
+                if waiting.terminal:
+                    continue
+                self.pending.appendleft(waiting)
         elif self.supervisor.status(wid) == "dead":
             while queued:
                 waiting = queued.popleft()
+                if waiting.terminal:
+                    continue
                 waiting.status = "failed"
                 waiting.detail = "worker dead"
                 waiting.completed_at = now
@@ -262,22 +377,37 @@ class Balancer:
             self.failed_no_capacity += 1
         return failed
 
-    def expire(self, now: int, deadline_ticks: int) -> List[Request]:
+    def expire(self, now: int, deadline_ticks: int,
+               abandon_in_place: bool = False) -> List[Request]:
         """Client timeouts: fail queued/pending requests older than the
         deadline.  In-flight requests are left to finish — the worker is
         actively serving them — so expiry models a client abandoning its
-        place in line, not cancelling server work."""
+        place in line, not cancelling server work.
+
+        ``abandon_in_place`` (naive overload mode) models the nastier
+        real-world version for requests already bound to a worker queue:
+        the client gives up, but the request is still sitting in the
+        worker's accept buffer and will be served anyway — too late to
+        matter, at full service cost.  Those zombies are reported as
+        failed here but stay queued, so their eventual completion burns
+        capacity without producing goodput."""
         expired: List[Request] = []
 
-        def sweep(queue: Deque[Request]) -> Deque[Request]:
+        def sweep(queue: Deque[Request],
+                  in_place: bool = False) -> Deque[Request]:
             kept: Deque[Request] = deque()
             while queue:
                 request = queue.popleft()
-                if now - request.arrival >= deadline_ticks:
+                if request.terminal:
+                    kept.append(request)     # zombie: already reported
+                elif now - request.arrival >= deadline_ticks:
                     request.status = "failed"
                     request.detail = "deadline"
                     request.completed_at = now
                     expired.append(request)
+                    if in_place:
+                        request.abandoned = True
+                        kept.append(request)
                     if self.forensics is not None:
                         self.forensics.fleet_event("request_expired", now,
                                                    rid=request.rid)
@@ -287,7 +417,8 @@ class Balancer:
 
         self.pending = sweep(self.pending)
         for wid in self.order:
-            self.queues[wid] = sweep(self.queues[wid])
+            self.queues[wid] = sweep(self.queues[wid],
+                                     in_place=abandon_in_place)
         return expired
 
     def abandon(self, now: int) -> List[Request]:
@@ -296,10 +427,13 @@ class Balancer:
         for wid in self.order:
             queue = self.queues[wid]
             while queue:
-                queue[0].status = "failed"
-                queue[0].detail = "campaign timeout"
-                queue[0].completed_at = now
-                failed.append(queue.popleft())
+                request = queue.popleft()
+                if request.terminal:
+                    continue             # zombie: already reported
+                request.status = "failed"
+                request.detail = "campaign timeout"
+                request.completed_at = now
+                failed.append(request)
             request = self.inflight.pop(wid, None)
             if request is not None:
                 request.status = "failed"

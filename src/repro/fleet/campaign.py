@@ -86,6 +86,27 @@ class CampaignConfig:
     #: Extra ``workload()`` kwargs as a tuple of pairs, e.g.
     #: ``(("set_every", 2),)`` for write-heavy memcached traffic.
     workload_kwargs: Tuple[Tuple[str, object], ...] = ()
+    #: Overload protection mode: "off" (default — none of the overload
+    #: machinery is even constructed), "naive" (priority classes and
+    #: goodput accounting threaded through, but no admission gate, no
+    #: retry budget, and expired queued requests rot in place as zombie
+    #: work — the congestion-collapse baseline), or "protected"
+    #: (deadline-aware admission + brownout shedding + budgeted client
+    #: retries).  See :mod:`repro.overload`.
+    overload: str = "off"
+    #: Flash crowd: ``(start_tick, end_tick, extra)`` adds ``extra``
+    #: arrivals per tick inside the window — the trigger for metastable
+    #: collapse (overload campaigns).
+    burst: Tuple[int, int, int] = ()
+    #: Traffic priority mix ``((class, weight), ...)``; empty uses
+    #: :data:`repro.overload.DEFAULT_MIX`.  Ignored when overload="off".
+    priority_mix: Tuple[Tuple[str, int], ...] = ()
+    #: Client-side retry ceiling per request (overload modes).
+    client_retries: int = 3
+    #: Retry-budget refill per success and bucket capacity (protected
+    #: mode; the naive client retries unconditionally).
+    retry_refill: float = 0.1
+    retry_burst: float = 4.0
 
 
 @dataclass
@@ -108,6 +129,10 @@ class CampaignResult:
     #: Recovery summary (RPO/RTO/sealing/audit); None (and absent from
     #: :meth:`as_dict`) unless the campaign ran with recovery enabled.
     recovery: Optional[Dict[str, object]] = None
+    #: Overload summary (admission/brownout/client budgets); None (and
+    #: absent from :meth:`as_dict`) unless the campaign ran with an
+    #: overload mode other than "off".
+    overload: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         cfg = self.config
@@ -137,6 +162,13 @@ class CampaignResult:
             out["config"]["recovery"] = cfg.recovery
             out["config"]["checkpoint_interval"] = cfg.checkpoint_interval
             out["recovery"] = self.recovery
+        if self.overload is not None:
+            out["config"]["overload"] = cfg.overload
+            out["config"]["deadline_ticks"] = cfg.deadline_ticks
+            out["config"]["arrivals_per_tick"] = cfg.arrivals_per_tick
+            if cfg.burst:
+                out["config"]["burst"] = list(cfg.burst)
+            out["overload"] = self.overload
         return out
 
 
@@ -218,18 +250,36 @@ def run_campaign(config: CampaignConfig, telemetry=None,
         crash_loop_k=config.crash_loop_k,
         crash_loop_window=config.crash_loop_window,
         telemetry=telemetry, forensics=forensics)
+    controls = None
+    if config.overload != "off":
+        from repro.overload import PRIORITIES, build_controls
+        controls = build_controls(
+            config.overload, config.scheme, config.deadline_ticks,
+            priority_mix=config.priority_mix,
+            client_retries=config.client_retries,
+            retry_refill=config.retry_refill,
+            retry_burst=config.retry_burst,
+            telemetry=telemetry, forensics=forensics)
     balancer = Balancer(workers, supervisor, policy=config.balance,
                         queue_cap=config.queue_cap,
                         max_attempts=config.max_attempts,
                         hedge_stranded=config.hedge_stranded,
                         breaker_threshold=config.breaker_threshold,
                         breaker_cooldown=config.breaker_cooldown,
-                        telemetry=telemetry, forensics=forensics)
+                        telemetry=telemetry, forensics=forensics,
+                        admission=controls.admission
+                        if controls is not None else None,
+                        tick_cycles=config.tick_cycles
+                        if controls is not None else None)
     registry = telemetry.registry \
         if (telemetry is not None and telemetry.enabled) else None
     slo = SLOTracker(config.tick_cycles, registry=registry,
                      anomalies=forensics.monitor
-                     if forensics is not None else None)
+                     if forensics is not None else None,
+                     deadline_ticks=config.deadline_ticks
+                     if controls is not None else None,
+                     classes=PRIORITIES if controls is not None else (),
+                     timeline_window=20 if controls is not None else 0)
     manager = None
     if recovery_on:
         from repro.recovery import RecoveryManager
@@ -255,9 +305,29 @@ def run_campaign(config: CampaignConfig, telemetry=None,
     arrivals = iter(enumerate(requests))
     exhausted = False
     now = 0
+
+    def settle(req) -> None:
+        """Route one terminal request: through the client swarm (which
+        may turn it into a retry) when overload is on, else straight to
+        SLO accounting."""
+        while req is not None:
+            if controls is None:
+                slo.on_terminal(req)
+                return
+            retry = controls.swarm.on_terminal(req, now)
+            if retry is None:
+                slo.on_terminal(req)
+                return
+            # offer() returns the retry itself if the gate rejects it.
+            req = balancer.offer(retry, now)
+
     while now < config.max_ticks:
-        # 1. Arrivals (fuzzed at the door, storm rate inside the window).
-        for _ in range(config.arrivals_per_tick):
+        # 1. Arrivals (fuzzed at the door, storm rate inside the window,
+        #    flash-crowd extras inside the burst window).
+        rate = config.arrivals_per_tick
+        if config.burst and config.burst[0] <= now < config.burst[1]:
+            rate += config.burst[2]
+        for _ in range(rate):
             nxt = next(arrivals, None)
             if nxt is None:
                 exhausted = True
@@ -269,8 +339,16 @@ def run_campaign(config: CampaignConfig, telemetry=None,
                 fuzzed = storm_trace[rid]
             if fuzzed != payload:
                 result.fuzzed_requests += 1
-            balancer.offer(Request(rid, fuzzed, arrival=now))
-            slo.on_submitted()
+            if controls is not None:
+                request = Request(rid, fuzzed, arrival=now,
+                                  priority=controls.priority(rid))
+                slo.on_submitted(priority=request.priority)
+                rejected = balancer.offer(request, now)
+                if rejected is not None:
+                    settle(rejected)
+            else:
+                balancer.offer(Request(rid, fuzzed, arrival=now))
+                slo.on_submitted()
         # 2. Scenario events.
         if config.hang and now == config.hang[0]:
             wid = config.hang[1]
@@ -293,7 +371,7 @@ def run_campaign(config: CampaignConfig, telemetry=None,
                     slo.on_recovery(rto)
         # 4. Dispatch.
         for req in balancer.dispatch(now):
-            slo.on_terminal(req)
+            settle(req)
         # 5. Workers run, in wid order.
         for worker in workers:
             if not supervisor.running(worker.wid):
@@ -301,9 +379,11 @@ def run_campaign(config: CampaignConfig, telemetry=None,
             report = worker.run_tick(config.tick_cycles)
             for rid, status in report.outcomes:
                 req = balancer.on_outcome(worker.wid, rid, status, now)
+                if req is None:
+                    continue       # zombie completion: already settled
                 if manager is not None and status == "served":
                     manager.on_served(worker.wid, req, now)
-                slo.on_terminal(req)
+                settle(req)
             if report.crash is not None:
                 result.crashes += 1
                 if report.crash == "WatchdogTimeout":
@@ -315,7 +395,7 @@ def run_campaign(config: CampaignConfig, telemetry=None,
                     manager.on_crash(worker.wid, now, dead=cost is None)
                 for req in balancer.on_worker_crash(
                         worker.wid, report.stranded, now):
-                    slo.on_terminal(req)
+                    settle(req)
                 if manager is not None and cost is None:
                     promoted = manager.promote(worker.wid, now, balancer,
                                                supervisor.startup_ticks)
@@ -331,17 +411,28 @@ def run_campaign(config: CampaignConfig, telemetry=None,
         if manager is not None:
             manager.tick(now, {w.wid: w for w in workers}, supervisor)
         # 6. Client deadlines: queued requests past their patience fail.
-        for req in balancer.expire(now, config.deadline_ticks):
-            slo.on_terminal(req)
-        if forensics is not None:
-            forensics.monitor.observe_tick(
-                now,
-                epc_faults_total=sum(
-                    w.total_epc_faults + w.vm.counters.epc_faults
-                    for w in workers),
-                p95=slo.latency.percentile_bucket(0.95)
-                if slo.served else None,
-                served=slo.served)
+        #    The naive overload client walks away but its queued requests
+        #    stay put (zombie work); everywhere else expiry removes them.
+        for req in balancer.expire(now, config.deadline_ticks,
+                                   abandon_in_place=controls is not None
+                                   and controls.mode == "naive"):
+            settle(req)
+        if forensics is not None or controls is not None:
+            epc_total = sum(w.total_epc_faults + w.vm.counters.epc_faults
+                            for w in workers)
+            if forensics is not None:
+                forensics.monitor.observe_tick(
+                    now,
+                    epc_faults_total=epc_total,
+                    p95=slo.latency.percentile_bucket(0.95)
+                    if slo.served else None,
+                    served=slo.served,
+                    queue_depth=balancer.in_system()
+                    if controls is not None else None)
+            if controls is not None:
+                controls.admission.observe_tick(now, balancer.in_system(),
+                                                epc_total)
+                slo.on_tick(now)
         # 7. Termination: all traffic is in, nothing left in the system.
         if exhausted and balancer.in_system() == 0:
             now += 1
@@ -360,6 +451,8 @@ def run_campaign(config: CampaignConfig, telemetry=None,
     if manager is not None:
         result.recovery = manager.finalize(
             {w.wid: w for w in workers}, supervisor, now)
+    if controls is not None:
+        result.overload = controls.summary()
     if forensics is not None:
         result.forensics = forensics.summary()
     if registry is not None:

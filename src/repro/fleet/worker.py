@@ -32,7 +32,7 @@ from repro.harness.runner import build_server_vm
 from repro.vm import machine as vm_mod
 from repro.vm import policy as violation_policy
 from repro.workloads import NetworkSim
-from repro.workloads.netsim import ERROR_MARKER
+from repro.workloads.netsim import ERROR_MARKER, REJECTED_MARKER
 
 #: Iteration bound handed to the app's ``main(n, threads)``: effectively
 #: infinite — the blocking recv paces the loop, not the bound.
@@ -147,8 +147,16 @@ class EnclaveWorker:
         """Simulated cycles of the live incarnation."""
         return self.vm.enclave.cycles()
 
-    def submit(self, rid: int, payload: bytes) -> None:
-        """Hand one request to the worker (depth-1: caller checks idle)."""
+    def submit(self, rid: int, payload: bytes, priority: str = "normal",
+               waited_cycles: int = 0) -> None:
+        """Hand one request to the worker (depth-1: caller checks idle).
+
+        ``waited_cycles`` backdates the watchdog clock by the simulated
+        cycles the request already spent in the worker's ingress queue,
+        so the per-request instruction budget is measured from *dispatch*
+        (balancer assignment) rather than dequeue — a request cannot hide
+        unbounded queueing time from the watchdog.  The default of 0
+        keeps the pre-overload behaviour exactly."""
         vm = self.vm
         mutating = self.mutates is not None and self.mutates(payload)
         if mutating and rid in self.applied_rids:
@@ -168,8 +176,8 @@ class EnclaveWorker:
             self.recovery.on_dispatch(self.wid, rid, payload)
         self.inflight = (rid, payload)
         self._sent_seen = len(vm.net.sent(self.conn))
-        self._dispatch_instr = vm.counters.instructions
-        mid = vm.net.push(self.conn, payload)
+        self._dispatch_instr = vm.counters.instructions - max(0, waited_cycles)
+        mid = vm.net.push(self.conn, payload, priority=priority)
         if self.forensics is not None:
             vm.request_id = rid
             vm.request_payload = payload
@@ -298,6 +306,11 @@ class EnclaveWorker:
         if self.inflight is None:
             return []
         sent = self.vm.net.sent(self.conn)
+        # Rejection notices share the client connection but are addressed
+        # to the client, not replies to the in-flight request.
+        while (self._sent_seen < len(sent)
+               and sent[self._sent_seen] == REJECTED_MARKER):
+            self._sent_seen += 1
         if len(sent) <= self._sent_seen:
             return []
         reply = sent[self._sent_seen]

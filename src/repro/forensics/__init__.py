@@ -32,6 +32,7 @@ from repro.forensics.anomaly import (
     CrashLoopPrecursorDetector,
     EPCThrashDetector,
     LatencyRegressionDetector,
+    QueueDepthDetector,
 )
 from repro.forensics.flightlog import EventRecord, FlightRecorder
 from repro.forensics.postmortem import (
@@ -205,6 +206,7 @@ __all__ = [
     "LatencyRegressionDetector",
     "MAX_POSTMORTEMS",
     "POSTMORTEM_SCHEMA",
+    "QueueDepthDetector",
     "capture_postmortem",
     "capture_stack",
     "decode_pointer",

@@ -1,6 +1,6 @@
 """Streaming anomaly detectors over campaign metrics.
 
-Three production-shaped rules, each deterministic and edge-triggered
+Four production-shaped rules, each deterministic and edge-triggered
 (one alert per episode, re-armed by hysteresis, never by wall time):
 
 * :class:`EPCThrashDetector` — the fleet-wide EPC fault rate over a
@@ -16,6 +16,11 @@ Three production-shaped rules, each deterministic and edge-triggered
   the supervisor's crash-loop window: one more and the supervisor marks
   it dead, so the precursor fires while there is still time to shed
   load away from it.
+* :class:`QueueDepthDetector` — the mean in-system request depth over a
+  rolling window exceeds a threshold: arrivals are outpacing the fleet's
+  service rate and every further admission is a future deadline miss.
+  Only fed by overload-enabled campaigns (:mod:`repro.overload`), where
+  it doubles as the brownout pressure signal.
 
 Detectors never charge simulated counters; alerts are appended to the
 monitor's list and recorded into the flight recorder as ``kind="alert"``
@@ -97,6 +102,42 @@ class LatencyRegressionDetector:
         return None
 
 
+class QueueDepthDetector:
+    """Rolling-window mean of in-system request depth.
+
+    Queueing pressure is the other face of the EPC cliff: once a scheme's
+    service time exceeds the inter-arrival time, depth grows without
+    bound and every request admitted is a request that will miss its
+    deadline.  The rule alerts when the mean depth over the window
+    crosses the threshold, with the same half-threshold hysteresis as
+    the other detectors; ``severe`` marks a window at twice the
+    threshold (used by brownout to escalate the shed level)."""
+
+    name = "queue_depth"
+
+    def __init__(self, window: int = 8, depth_threshold: int = 24):
+        self.window = max(1, window)
+        self.depth_threshold = depth_threshold
+        self._depths: Deque[int] = deque(maxlen=self.window)
+        self.alerting = False
+        self.severe = False
+
+    def observe(self, now: int, depth: int) -> Optional[Dict]:
+        self._depths.append(max(0, depth))
+        if len(self._depths) < self.window:
+            return None
+        mean = sum(self._depths) // self.window
+        self.severe = mean >= 2 * self.depth_threshold
+        if not self.alerting and mean >= self.depth_threshold:
+            self.alerting = True
+            return {"mean_depth": mean,
+                    "threshold": self.depth_threshold,
+                    "window_ticks": self.window}
+        if self.alerting and mean < self.depth_threshold // 2:
+            self.alerting = False
+        return None
+
+
 class CrashLoopPrecursorDetector:
     """K-1 crashes of one worker inside the crash-loop window."""
 
@@ -138,18 +179,28 @@ class AnomalyMonitor:
         self.latency = LatencyRegressionDetector(factor=latency_factor)
         self.crash_loop = CrashLoopPrecursorDetector(
             window=crash_loop_window)
+        self.queue = QueueDepthDetector()
         self.alerts: List[Dict[str, object]] = []
 
     # -- feeds ----------------------------------------------------------
     def observe_tick(self, now: int, epc_faults_total: int,
-                     p95: Optional[int], served: int) -> None:
-        """Per-tick metrics sample (campaign loop, after outcomes)."""
+                     p95: Optional[int], served: int,
+                     queue_depth: Optional[int] = None) -> None:
+        """Per-tick metrics sample (campaign loop, after outcomes).
+
+        ``queue_depth`` is only fed by overload-enabled campaigns; the
+        detector stays silent (and cost-free) when it is never given a
+        sample."""
         hit = self.epc.observe(now, epc_faults_total)
         if hit is not None:
             self._alert(self.epc.name, now, None, hit)
         hit = self.latency.observe(now, p95, served)
         if hit is not None:
             self._alert(self.latency.name, now, None, hit)
+        if queue_depth is not None:
+            hit = self.queue.observe(now, queue_depth)
+            if hit is not None:
+                self._alert(self.queue.name, now, None, hit)
 
     def on_crash(self, now: int, wid: int) -> None:
         """A worker crashed (supervisor feed)."""

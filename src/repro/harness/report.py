@@ -73,6 +73,21 @@ def fleet_table(title: str, rows: Sequence[Sequence[object]]) -> str:
     return series_table(title, FLEET_COLUMNS, rows)
 
 
+#: One row per (scheme, mode, arrival-rate) cell of an overload sweep.
+#: ``goodput`` is timely serves per tick (end-to-end from the first
+#: client attempt); ``crit_timely`` is the critical class's
+#: timely/submitted fraction — the headline of the brownout argument.
+OVERLOAD_COLUMNS = ["scheme", "mode", "rate", "ticks", "goodput", "timely",
+                    "served", "rejected", "failed", "retries",
+                    "crit_timely", "p99_kcyc"]
+
+
+def overload_table(title: str, rows: Sequence[Sequence[object]]) -> str:
+    """Goodput summary of an overload campaign sweep (``repro.overload``):
+    congestion collapse vs admission control + retry budgets."""
+    return series_table(title, OVERLOAD_COLUMNS, rows)
+
+
 def render_violation(context: Dict[str, object]) -> str:
     """One-paragraph rendering of a structured violation context
     (:meth:`repro.errors.BoundsViolation.context`)."""

@@ -1,0 +1,71 @@
+"""Brownout: priority shedding driven by the forensics pressure signal.
+
+A brownout is partial degradation on purpose: instead of letting every
+class of traffic share the misery of a saturated fleet, the controller
+watches the same anomaly detectors the forensics subsystem ships
+(:class:`repro.forensics.anomaly.EPCThrashDetector` for paging pressure,
+:class:`repro.forensics.anomaly.QueueDepthDetector` for queueing
+pressure) and raises a shed *level* while either is alerting:
+
+* level 0 — healthy, nothing shed;
+* level 1 — one detector alerting: shed ``sheddable`` traffic;
+* level 2 — both alerting (queueing *and* EPC thrash): also shed
+  ``normal`` traffic.
+
+``critical`` is never shed at any level; it can only be rejected by the
+admission gate's deadline math.  The detectors' built-in hysteresis
+(re-arm at half threshold) is what de-flaps the level — the controller
+itself is a pure function of their ``alerting`` flags, so it adds no
+state that could drift between identical runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.forensics.anomaly import EPCThrashDetector, QueueDepthDetector
+
+#: Shed order, first-to-go first.  Level N sheds SHED_ORDER[:N].
+SHED_ORDER = ("sheddable", "normal")
+
+
+class BrownoutController:
+    """Maps detector pressure onto a shed level for the admission gate."""
+
+    def __init__(self, queue_window: int = 8, queue_depth: int = 24,
+                 epc_window: int = 16, epc_faults_per_tick: int = 200):
+        self.queue = QueueDepthDetector(window=queue_window,
+                                        depth_threshold=queue_depth)
+        self.epc = EPCThrashDetector(window=epc_window,
+                                     faults_per_tick=epc_faults_per_tick)
+        self.level = 0
+        self.max_level = 0
+        self.transitions = 0
+        self.ticks_at_level: Dict[int, int] = {0: 0, 1: 0, 2: 0}
+
+    def observe(self, now: int, queue_depth: int,
+                epc_faults_total: int) -> None:
+        """Per-tick pressure sample; recomputes the shed level."""
+        self.queue.observe(now, queue_depth)
+        self.epc.observe(now, epc_faults_total)
+        pressure = int(self.queue.alerting) + int(self.epc.alerting)
+        level = min(pressure, len(SHED_ORDER))
+        if level != self.level:
+            self.transitions += 1
+            self.level = level
+            if level > self.max_level:
+                self.max_level = level
+        self.ticks_at_level[self.level] += 1
+
+    def sheds(self, priority: str) -> bool:
+        """Is this class currently browned out?"""
+        return priority in SHED_ORDER[:self.level]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "max_level": self.max_level,
+            "transitions": self.transitions,
+            "ticks_at_level": {str(k): self.ticks_at_level[k]
+                               for k in sorted(self.ticks_at_level)},
+        }

@@ -1,0 +1,122 @@
+"""Client-side adaptive retry budgets.
+
+The metastable-failure amplifier is the client: a fleet at 1.1x capacity
+with retry-on-timeout clients sees *more* than 1.1x offered load,
+because every timed-out request comes back as a retry — and the retries
+time out too.  The classic fix (Google SRE book ch. 21, AWS "retries
+with token buckets") is to make retries a *budgeted* resource: each
+success deposits a fraction of a token, each retry spends a whole one,
+so the retry rate is capped at ``refill_per_success`` times the success
+rate and collapses to zero when nothing succeeds — precisely when
+retries are most harmful.
+
+:class:`ClientSwarm` models the whole client population for one
+campaign.  It is deliberately status-driven: only ``failed`` terminals
+(timeouts/expiries — the ambiguous "maybe it would have worked" case)
+are retried; ``error`` replies are the application saying no (a retry
+would deterministically fail again) and ``rejected`` replies are the
+fleet saying *stop sending* — retrying those would defeat the gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Terminal statuses a client will consider retrying.
+RETRYABLE = ("failed",)
+
+
+class RetryBudget:
+    """Token bucket refilled by successes, spent by retries."""
+
+    __slots__ = ("refill_per_success", "burst", "tokens", "spent", "denied")
+
+    def __init__(self, refill_per_success: float = 0.1,
+                 burst: float = 4.0):
+        self.refill_per_success = refill_per_success
+        self.burst = burst
+        self.tokens = float(burst)    # start full: cold fleets may hiccup
+        self.spent = 0
+        self.denied = 0
+
+    def try_spend(self) -> bool:
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+    def on_success(self) -> None:
+        self.tokens = min(self.burst,
+                          self.tokens + self.refill_per_success)
+
+
+class ClientSwarm:
+    """Retry policy for every client in a campaign, one bucket per class.
+
+    ``budgeted=False`` is the naive swarm: unconditional retry of every
+    ``failed`` terminal up to ``max_retries`` — the congestion-collapse
+    baseline.  ``budgeted=True`` gates each retry through the class's
+    token bucket and refills it on every success of that class.
+    """
+
+    def __init__(self, budgeted: bool = True, max_retries: int = 3,
+                 refill_per_success: float = 0.1, burst: float = 4.0):
+        self.budgeted = budgeted
+        self.max_retries = max_retries
+        self.refill_per_success = refill_per_success
+        self.burst = burst
+        self.budgets: Dict[str, RetryBudget] = {}
+        self.retries = 0
+        self.gave_up = 0
+        self.successes = 0
+
+    def _budget(self, priority: str) -> RetryBudget:
+        budget = self.budgets.get(priority)
+        if budget is None:
+            budget = RetryBudget(self.refill_per_success, self.burst)
+            self.budgets[priority] = budget
+        return budget
+
+    def on_terminal(self, request, now: int):
+        """Client-side reaction to a terminal outcome.
+
+        Returns a fresh :class:`repro.fleet.balancer.Request` to re-offer
+        (a *client* retry: new arrival stamp, same rid/payload/priority)
+        or ``None`` when the client accepts the outcome.
+        """
+        if request.status == "served":
+            self.successes += 1
+            if self.budgeted:
+                self._budget(request.priority).on_success()
+            return None
+        if request.status not in RETRYABLE:
+            return None
+        if request.client_retries >= self.max_retries:
+            self.gave_up += 1
+            return None
+        if self.budgeted and not self._budget(request.priority).try_spend():
+            self.gave_up += 1
+            return None
+        self.retries += 1
+        from repro.fleet.balancer import Request
+        fresh = Request(request.rid, request.payload, now,
+                        priority=request.priority,
+                        client_retries=request.client_retries + 1,
+                        first_arrival=request.first_arrival)
+        return fresh
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "budgeted": self.budgeted,
+            "max_retries": self.max_retries,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+        }
+        if self.budgeted:
+            out["budgets"] = {
+                cls: {"tokens": round(b.tokens, 3), "spent": b.spent,
+                      "denied": b.denied}
+                for cls, b in sorted(self.budgets.items())}
+        return out

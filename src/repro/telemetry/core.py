@@ -129,6 +129,15 @@ class Telemetry:
                             args={"worker": wid, "tick": tick,
                                   "detail": detail})
 
+    def overload_event(self, kind: str, tick: int,
+                       priority: str = "") -> None:
+        """Admission/brownout event from the overload layer
+        (reject-deadline/reject-shed/brownout level changes)."""
+        self.registry.counter(f"overload.{kind}").inc()
+        self.tracer.instant(f"overload_{kind}", self.tracer.last_ts, 0,
+                            cat="overload",
+                            args={"tick": tick, "priority": priority})
+
     # -- run-end collection ----------------------------------------------
     def collect_counters(self, snapshot: Dict[str, int],
                          prefix: str = "sgx") -> None:

@@ -36,23 +36,32 @@ from typing import Deque, Dict, List, Optional, Tuple
 #: served response.
 ERROR_MARKER = b"ERR!"
 
+#: Synthetic reply for a request the fleet's admission gate turned away
+#: at enqueue.  Distinct from :data:`ERROR_MARKER` on purpose: an error
+#: is the server failing a request it accepted; a rejection is the fleet
+#: refusing to accept it at all (the client should back off, not retry),
+#: and the two must never share a counter.
+REJECTED_MARKER = b"RJCT"
+
 
 class _Message:
     """One queued request with identity across splits and retries."""
 
-    __slots__ = ("mid", "payload", "offset")
+    __slots__ = ("mid", "payload", "offset", "priority")
 
-    def __init__(self, mid: int, payload: bytes):
+    def __init__(self, mid: int, payload: bytes,
+                 priority: Optional[str] = None):
         self.mid = mid
         self.payload = payload
         self.offset = 0           # bytes already read by the server
+        self.priority = priority  # fleet priority class, None outside fleets
 
 
 class ConnStats:
     """Per-connection delivery accounting."""
 
     __slots__ = ("pushed", "delivered", "responses", "errors", "retries",
-                 "failed", "backoff_cycles", "error_replies")
+                 "failed", "backoff_cycles", "error_replies", "rejected")
 
     def __init__(self) -> None:
         self.pushed = 0          # requests queued by the client
@@ -63,6 +72,7 @@ class ConnStats:
         self.failed = 0          # requests abandoned after max retries
         self.backoff_cycles = 0  # client-side cycles spent backing off
         self.error_replies = 0   # ERROR_MARKER frames in the reply stream
+        self.rejected = 0        # admission-gate rejections (RJCT frames)
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -106,6 +116,9 @@ class NetworkSim:
         #: Message id of the most recent :meth:`recv` delivery (full or
         #: partial) — lets callers correlate a receive with its message.
         self.last_recv_mid: Optional[int] = None
+        #: Priority class of the most recent :meth:`recv` delivery; None
+        #: outside fleet campaigns (plain workloads push without one).
+        self.last_recv_priority: Optional[str] = None
 
     def _now(self) -> int:
         """Simulated timestamp for forensic records (0 without a clock)."""
@@ -117,11 +130,12 @@ class NetworkSim:
             stats = self.conn_stats[conn] = ConnStats()
         return stats
 
-    def _message(self, payload: bytes, mid: Optional[int] = None) -> _Message:
+    def _message(self, payload: bytes, mid: Optional[int] = None,
+                 priority: Optional[str] = None) -> _Message:
         if mid is None:
             mid = self._next_mid
             self._next_mid += 1
-        return _Message(mid, payload)
+        return _Message(mid, payload, priority=priority)
 
     def connect(self, *requests: bytes) -> int:
         """Open a connection with ``requests`` queued for the server."""
@@ -132,10 +146,13 @@ class NetworkSim:
         self._stats(conn).pushed += len(requests)
         return conn
 
-    def push(self, conn: int, data: bytes) -> int:
+    def push(self, conn: int, data: bytes,
+             priority: Optional[str] = None) -> int:
         """Queue one more request on an existing connection; returns the
-        message id so dispatchers can correlate retries and errors."""
-        message = self._message(data)
+        message id so dispatchers can correlate retries and errors.
+        ``priority`` is the fleet's traffic class, carried as message
+        metadata so it survives splits and retries end to end."""
+        message = self._message(data, priority=priority)
         self._incoming[conn].append(message)
         self._stats(conn).pushed += 1
         return message.mid
@@ -148,6 +165,7 @@ class NetworkSim:
             return None
         message = queue[0]
         self.last_recv_mid = message.mid
+        self.last_recv_priority = message.priority
         remaining = len(message.payload) - message.offset
         if remaining > maxlen:
             # Partial read: the tail stays at the front of the queue as
@@ -236,6 +254,22 @@ class NetworkSim:
         # served response.
         self._outgoing.setdefault(conn, []).append(ERROR_MARKER)
         return False
+
+    def reject_request(self, conn: int) -> None:
+        """The fleet's admission gate turned a request away at enqueue.
+
+        The client sees a :data:`REJECTED_MARKER` frame in the reply
+        stream; the ``rejected`` counter is kept strictly apart from
+        ``errors``/``error_replies`` so availability math never conflates
+        "the server failed it" with "the fleet declined it"."""
+        stats = self._stats(conn)
+        stats.rejected += 1
+        self._outgoing.setdefault(conn, []).append(REJECTED_MARKER)
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("net.rejected").inc()
+        if self.forensics is not None:
+            self.forensics.record(
+                "net_rejected", ts=self._now(), cat="net", conn=conn)
 
     def sent(self, conn: int) -> List[bytes]:
         """Everything the server wrote to ``conn``."""

@@ -95,6 +95,37 @@ class TestCircuitBreaker:
         b.record_failure(3)
         assert b.state == bal_mod.CLOSED        # streak broken, never 3
 
+    def test_repeated_probe_failures_accumulate_opens(self):
+        """A flapping worker cycles open -> half-open -> open; every
+        failed probe is one more open with a fresh full cooldown."""
+        b = CircuitBreaker(threshold=1, cooldown=10)
+        b.record_failure(0)                     # open #1 until 10
+        for cycle in range(1, 4):
+            probe_at = cycle * 10 + cycle       # past the latest cooldown
+            assert b.allow(probe_at)
+            assert b.state == bal_mod.HALF_OPEN
+            b.on_dispatch()
+            b.record_failure(probe_at)          # probe dies: reopen
+            assert b.state == bal_mod.OPEN
+            assert b.opens == cycle + 1
+            assert not b.allow(probe_at + 9)    # full cooldown again
+        assert b.opens == 4
+
+    def test_close_after_probe_requires_full_streak_to_reopen(self):
+        """A successful probe fully resets the breaker: the old failure
+        streak never leaks into the next open decision."""
+        b = CircuitBreaker(threshold=2, cooldown=10)
+        b.record_failure(0)
+        b.record_failure(1)                     # open
+        b.allow(11)
+        b.on_dispatch()
+        b.record_success()                      # probe served: closed
+        assert b.state == bal_mod.CLOSED
+        b.record_failure(12)                    # one failure: still closed
+        assert b.state == bal_mod.CLOSED
+        b.record_failure(13)                    # full streak needed again
+        assert b.state == bal_mod.OPEN
+
 
 class TestSupervisorLifecycle:
     def _sup(self, **kw):
@@ -178,6 +209,52 @@ class TestSupervisorLifecycle:
         for now in (0, 10, 20, 30):
             assert sup.on_crash(worker, now=now, reason="X") is not None
         assert sup.deaths == 0
+
+    def test_long_campaign_prunes_history_but_not_lifetime_totals(self):
+        """Crash bookkeeping over many crash-loop windows: the pruned
+        timestamp list stays O(k) forever while the lifetime counters
+        keep the full story — a worker that crashes steadily but below
+        the loop rate is never misdiagnosed as crash-looping."""
+        sup = self._sup(startup_ticks=0, crash_loop_k=3,
+                        crash_loop_window=50)
+        worker = _StubWorker(0)
+        crashes = 10                            # spans ~6 windows
+        for i in range(crashes):
+            assert sup.on_crash(worker, now=i * 30, reason="X") is not None
+            sup.tick(i * 30 + 29)               # ticks prune too
+        record = sup.records[0]
+        assert sup.deaths == 0
+        assert record.crashes == crashes        # lifetime total survives
+        assert record.restarts == crashes
+        assert len(record.crash_ticks) <= 2     # pruned to < k forever
+        assert len(record.crash_reasons) == crashes
+
+    def test_tick_pruning_forgets_stale_crashes(self):
+        sup = self._sup(startup_ticks=0, crash_loop_k=3,
+                        crash_loop_window=50)
+        worker = _StubWorker(0)
+        sup.on_crash(worker, now=0, reason="X")
+        sup.on_crash(worker, now=5, reason="X")
+        sup.tick(200)                           # both far outside the window
+        record = sup.records[0]
+        assert record.crash_ticks == []
+        assert record.crashes == 2
+
+    def test_burst_after_quiet_history_still_dies(self):
+        """Pruning must not mask a real crash loop: a k-burst inside one
+        window kills the worker no matter how long the quiet spread-out
+        history before it."""
+        sup = self._sup(startup_ticks=0, crash_loop_k=3,
+                        crash_loop_window=50)
+        worker = _StubWorker(0)
+        for i in range(5):                      # quiet era: 1 per window
+            assert sup.on_crash(worker, now=i * 100, reason="X") is not None
+        assert sup.on_crash(worker, now=600, reason="X") is not None
+        assert sup.on_crash(worker, now=610, reason="X") is not None
+        assert sup.on_crash(worker, now=620, reason="X") is None
+        assert sup.status(0) == sup_mod.DEAD
+        assert sup.deaths == 1
+        assert sup.records[0].crashes == 8
 
 
 class TestBalancer:

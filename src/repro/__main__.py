@@ -45,11 +45,12 @@ EXPERIMENTS = {
     "recover": lambda args: _recover(args),
     "redteam": lambda args: _redteam(args),
     "overload": lambda args: _overload(args),
+    "observe": lambda args: _observe(args),
 }
 
 #: Experiments whose stdout must be byte-identical across runs (CI diffs
 #: them); their wall-clock timing line goes to stderr instead.
-_STDERR_TIMING = {"fleet", "recover", "redteam", "overload"}
+_STDERR_TIMING = {"fleet", "recover", "redteam", "overload", "observe"}
 
 
 def _postmortem(args) -> int:
@@ -187,6 +188,53 @@ def _overload(args):
     return data, text
 
 
+def _observe(args):
+    """Request observatory dashboard (ISSUE 9): causal traces,
+    critical-path attribution, burn-rate alerts, unified export.
+
+    Campaign shapes (healthy attribution fleet + the collapsing overload
+    cell) are fixed by the driver so stdout is byte-identical per seed;
+    app, workers, seed and size come from the command line.  Artifacts:
+    ``--metrics-text-out`` writes the merged Prometheus exposition,
+    ``--trace-out`` the exemplar campaign's Chrome trace, and
+    ``--results-out`` the versioned machine-readable dashboard."""
+    from repro.obs.dashboard import observe_fleet
+
+    telemetry = None
+    if args.metrics_text_out:
+        from repro import telemetry as telemetry_mod
+        telemetry = telemetry_mod.Telemetry()
+    data, text = observe_fleet(app=args.app, workers=args.workers,
+                               seed=args.seed, size=args.size,
+                               telemetry=telemetry)
+    if args.metrics_text_out:
+        with open(args.metrics_text_out, "w") as handle:
+            handle.write(data["exposition"])
+        print(f"[metrics-text -> {args.metrics_text_out}]",
+              file=sys.stderr)
+    if args.trace_out:
+        from repro import telemetry as telemetry_mod
+        if telemetry_mod.get_default() is None:
+            # Standalone observe: --trace-out means the fleet tracer's
+            # causal hop trees (a global telemetry run owns it otherwise).
+            from repro.telemetry import results as results_mod
+            results_mod.write_json(args.trace_out, data["chrome_trace"])
+            print(f"[trace -> {args.trace_out}]", file=sys.stderr)
+    if args.results_out:
+        from repro.telemetry import results as results_mod
+        payload = {
+            "app": data["app"], "size": data["size"],
+            "seed": data["seed"], "workers": data["workers"],
+            "schemes": data["schemes"], "exemplars": data["exemplars"],
+            "alerts": data["alerts"],
+        }
+        document = results_mod.result_document("observe_dashboard",
+                                               payload)
+        results_mod.write_json(args.results_out, document)
+        print(f"[results -> {args.results_out}]", file=sys.stderr)
+    return data, text
+
+
 def _profile(args) -> int:
     """``python -m repro profile <target>...`` — overhead attribution."""
     from repro.harness.profile import profile_experiment
@@ -259,6 +307,9 @@ def main(argv=None) -> int:
                              "(restart cost knob)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="export a Chrome trace_event JSON of the run")
+    parser.add_argument("--metrics-text-out", default=None, metavar="PATH",
+                        help="observe: write the merged Prometheus-style "
+                             "text exposition snapshot")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="export the metrics-registry snapshot (for "
                              "'profile': the full attribution) as JSON")
@@ -283,8 +334,13 @@ def main(argv=None) -> int:
     if args.experiments[0] == "postmortem":
         return _postmortem(args)
 
+    wanted = list(EXPERIMENTS) if args.experiments == ["all"] \
+        else args.experiments
+
     telemetry = None
-    if args.trace_out or args.metrics_out:
+    if (args.trace_out or args.metrics_out) and wanted != ["observe"]:
+        # observe exports its own FleetTracer trace; when it runs alone,
+        # --trace-out means that trace, not a global telemetry one.
         from repro import telemetry as telemetry_mod
         telemetry = telemetry_mod.Telemetry()
         telemetry_mod.set_default(telemetry)
@@ -294,9 +350,6 @@ def main(argv=None) -> int:
         from repro import forensics as forensics_mod
         forensics = forensics_mod.Forensics()
         forensics_mod.set_default(forensics)
-
-    wanted = list(EXPERIMENTS) if args.experiments == ["all"] \
-        else args.experiments
     for name in wanted:
         runner = EXPERIMENTS.get(name)
         if runner is None:

@@ -34,7 +34,7 @@ class Request:
     __slots__ = ("rid", "payload", "arrival", "attempts", "status",
                  "completed_at", "worker", "detail", "priority",
                  "client_retries", "assigned_at", "started_at", "abandoned",
-                 "first_arrival")
+                 "first_arrival", "trace")
 
     def __init__(self, rid: int, payload: bytes, arrival: int,
                  priority: str = "normal", client_retries: int = 0,
@@ -60,6 +60,9 @@ class Request:
         #: its worker, which will serve it anyway — zombie work, the
         #: wasted-capacity half of congestion collapse (naive mode only).
         self.abandoned = False
+        #: Causal trace id, stamped by the observability layer at client
+        #: submit; None (the default) on every path outside obs runs.
+        self.trace: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -120,7 +123,7 @@ class Balancer:
                  max_attempts: int = 2, hedge_stranded: bool = True,
                  breaker_threshold: int = 3, breaker_cooldown: int = 25,
                  telemetry=None, forensics=None, admission=None,
-                 tick_cycles: Optional[int] = None):
+                 tick_cycles: Optional[int] = None, obs=None):
         if policy not in POLICIES:
             raise ValueError(f"unknown balance policy {policy!r}; "
                              f"expected one of {POLICIES}")
@@ -135,6 +138,11 @@ class Balancer:
             if (telemetry is not None and telemetry.enabled) else None
         self.forensics = forensics \
             if (forensics is not None and forensics.enabled) else None
+        #: Optional ``repro.obs.Observability``; when attached every
+        #: queue/dispatch/retry/hedge transition lands a hop in the
+        #: request's causal trace.  None keeps every path below
+        #: byte-identical to the obs-free balancer.
+        self.obs = obs if (obs is not None and obs.enabled) else None
         self.pending: Deque[Request] = deque()
         self.queues: Dict[int, Deque[Request]] = {
             wid: deque() for wid in self.order}
@@ -166,6 +174,10 @@ class Balancer:
             if reason is not None:
                 return self._reject(request, reason, now)
         self.pending.append(request)
+        if self.obs is not None:
+            self.obs.tracer.hop(
+                request.rid, "admission", now,
+                gate="open" if self.admission is not None else "none")
         return None
 
     def _reject(self, request: Request, reason: str, now: int) -> Request:
@@ -173,6 +185,8 @@ class Balancer:
         request.detail = reason
         request.completed_at = now
         self.rejected += 1
+        if self.obs is not None:
+            self.obs.tracer.hop(request.rid, "rejected", now, reason=reason)
         self.admission.on_reject(request, reason, now)
         # Surface the distinct RJCT frame on a live worker's client
         # connection so NetworkSim's rejected counter (satellite of this
@@ -255,6 +269,8 @@ class Balancer:
                     continue
             request.assigned_at = now
             self.queues[wid].append(request)
+            if self.obs is not None:
+                self.obs.tracer.hop(request.rid, "assign", now, wid=wid)
         for wid in self.order:
             if wid in self.inflight or not self.queues[wid]:
                 continue
@@ -266,15 +282,24 @@ class Balancer:
             request.started_at = now
             self.inflight[wid] = request
             self.breakers[wid].on_dispatch()
+            if self.obs is not None:
+                self.obs.tracer.hop(request.rid, "dispatch", now, wid=wid,
+                                    attempt=request.attempts)
+            # Stamped only by the observability layer; omitting the kwarg
+            # otherwise keeps plain worker stand-ins signature-compatible.
+            extra = {} if request.trace is None \
+                else {"trace": request.trace}
             if self.tick_cycles is not None:
                 assigned = request.assigned_at \
                     if request.assigned_at is not None else now
                 self.workers[wid].submit(
                     request.rid, request.payload,
                     priority=request.priority,
-                    waited_cycles=max(0, now - assigned) * self.tick_cycles)
+                    waited_cycles=max(0, now - assigned) * self.tick_cycles,
+                    **extra)
             else:
-                self.workers[wid].submit(request.rid, request.payload)
+                self.workers[wid].submit(request.rid, request.payload,
+                                         **extra)
         # Nobody left to serve the backlog: fail it fast.
         if self.supervisor.alive_count() == 0:
             terminal.extend(self._fail_backlog(now))
@@ -308,6 +333,10 @@ class Balancer:
             # Zombie completion: the client recorded this request as
             # failed when it expired; the cycles just spent serving it
             # were pure waste and must not resurface as a success.
+            if self.obs is not None:
+                # The trace already closed at expiry, so this lands as a
+                # zombie_done hop — wasted work made visible.
+                self.obs.tracer.terminal(request.rid, now, status, wid=wid)
             return None
         request.status = status
         request.completed_at = now
@@ -336,6 +365,9 @@ class Balancer:
                     f"but rid {request.rid} was in flight")
             if request.attempts < self.max_attempts:
                 self.pending.appendleft(request)
+                if self.obs is not None:
+                    self.obs.tracer.hop(request.rid, "requeue", now,
+                                        wid=wid, reason="crash")
                 if self.forensics is not None:
                     self.forensics.fleet_event("request_requeued", now,
                                                wid=wid, rid=request.rid)
@@ -354,6 +386,9 @@ class Balancer:
                 if waiting.terminal:
                     continue
                 self.pending.appendleft(waiting)
+                if self.obs is not None:
+                    self.obs.tracer.hop(waiting.rid, "requeue", now,
+                                        wid=wid, reason="hedge")
         elif self.supervisor.status(wid) == "dead":
             while queued:
                 waiting = queued.popleft()
@@ -405,6 +440,10 @@ class Balancer:
                     request.detail = "deadline"
                     request.completed_at = now
                     expired.append(request)
+                    if self.obs is not None:
+                        self.obs.tracer.hop(
+                            request.rid, "expired", now,
+                            waited=now - request.arrival)
                     if in_place:
                         request.abandoned = True
                         kept.append(request)

@@ -133,6 +133,10 @@ class CampaignResult:
     #: absent from :meth:`as_dict`) unless the campaign ran with an
     #: overload mode other than "off".
     overload: Optional[Dict[str, object]] = None
+    #: Observability summary (trace volume, critical-path attribution,
+    #: burn-rate alerts); None (and absent from :meth:`as_dict`) unless
+    #: an ``repro.obs.Observability`` handle was attached.
+    obs: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         cfg = self.config
@@ -169,6 +173,8 @@ class CampaignResult:
             if cfg.burst:
                 out["config"]["burst"] = list(cfg.burst)
             out["overload"] = self.overload
+        if self.obs is not None:
+            out["obs"] = self.obs
         return out
 
 
@@ -183,9 +189,10 @@ def _profile(app: str):
 
 
 def run_campaign(config: CampaignConfig, telemetry=None,
-                 forensics=None) -> CampaignResult:
+                 forensics=None, obs=None) -> CampaignResult:
     """Run one seeded campaign to completion; deterministic end to end."""
     from repro import forensics as forensics_mod
+    from repro import obs as obs_mod
     from repro import telemetry as telemetry_mod
     from repro.harness.experiments import APP_CONFIG
 
@@ -195,6 +202,11 @@ def run_campaign(config: CampaignConfig, telemetry=None,
         else forensics_mod.get_default()
     if forensics is not None and not forensics.enabled:
         forensics = None
+    obs = obs if obs is not None else obs_mod.get_default()
+    if obs is not None and not obs.enabled:
+        obs = None
+    if obs is not None:
+        obs.begin_campaign(config, forensics=forensics)
     profile = _profile(config.app)
     mod = profile.module
     recovery_on = config.recovery != "none"
@@ -240,7 +252,7 @@ def run_campaign(config: CampaignConfig, telemetry=None,
                       watchdog_budget=config.watchdog_budget,
                       epc_spike_rate=config.epc_spike_rate,
                       faults_seed=derive(config.seed, "fleet-epc"),
-                      telemetry=telemetry, forensics=forensics)
+                      telemetry=telemetry, forensics=forensics, obs=obs)
         for wid in range(config.workers)]
     supervisor = Supervisor(
         [w.wid for w in workers],
@@ -270,7 +282,8 @@ def run_campaign(config: CampaignConfig, telemetry=None,
                         admission=controls.admission
                         if controls is not None else None,
                         tick_cycles=config.tick_cycles
-                        if controls is not None else None)
+                        if controls is not None else None,
+                        obs=obs)
     registry = telemetry.registry \
         if (telemetry is not None and telemetry.enabled) else None
     slo = SLOTracker(config.tick_cycles, registry=registry,
@@ -312,13 +325,21 @@ def run_campaign(config: CampaignConfig, telemetry=None,
         SLO accounting."""
         while req is not None:
             if controls is None:
+                if obs is not None:
+                    obs.on_settled(req)
                 slo.on_terminal(req)
                 return
             retry = controls.swarm.on_terminal(req, now)
             if retry is None:
+                if obs is not None:
+                    obs.on_settled(req)
                 slo.on_terminal(req)
                 return
             # offer() returns the retry itself if the gate rejects it.
+            if obs is not None:
+                # Same rid, same trace root: the resubmission is a new
+                # branch of one causal request, not a fresh trace.
+                obs.on_client_retry(retry, now)
             req = balancer.offer(retry, now)
 
     while now < config.max_ticks:
@@ -342,12 +363,17 @@ def run_campaign(config: CampaignConfig, telemetry=None,
             if controls is not None:
                 request = Request(rid, fuzzed, arrival=now,
                                   priority=controls.priority(rid))
+                if obs is not None:
+                    obs.on_submit(request, now)
                 slo.on_submitted(priority=request.priority)
                 rejected = balancer.offer(request, now)
                 if rejected is not None:
                     settle(rejected)
             else:
-                balancer.offer(Request(rid, fuzzed, arrival=now))
+                request = Request(rid, fuzzed, arrival=now)
+                if obs is not None:
+                    obs.on_submit(request, now)
+                balancer.offer(request, now)
                 slo.on_submitted()
         # 2. Scenario events.
         if config.hang and now == config.hang[0]:
@@ -406,6 +432,11 @@ def run_campaign(config: CampaignConfig, telemetry=None,
                         slo.on_recovery(rto)
                         result.events.append(
                             (now, "promoted", worker.wid, ""))
+                        if obs is not None:
+                            # Requeued requests keep their trace ids; the
+                            # note marks where the serving enclave changed.
+                            obs.tracer.note("failover_promoted", now,
+                                            wid=worker.wid)
         # 5b. Recovery upkeep: replica apply + sealed checkpoints of
         # idle workers whose interval elapsed.
         if manager is not None:
@@ -433,6 +464,9 @@ def run_campaign(config: CampaignConfig, telemetry=None,
                 controls.admission.observe_tick(now, balancer.in_system(),
                                                 epc_total)
                 slo.on_tick(now)
+        # 6b. Burn-rate rules see every tick's cumulative good/bad totals.
+        if obs is not None:
+            obs.observe_tick(now, slo)
         # 7. Termination: all traffic is in, nothing left in the system.
         if exhausted and balancer.in_system() == 0:
             now += 1
@@ -441,6 +475,8 @@ def run_campaign(config: CampaignConfig, telemetry=None,
     else:
         # Fail-safe: time out everything still in the system as failed.
         for req in balancer.abandon(now):
+            if obs is not None:
+                obs.on_settled(req)
             slo.on_terminal(req)
 
     result.ticks = now
@@ -453,6 +489,8 @@ def run_campaign(config: CampaignConfig, telemetry=None,
             {w.wid: w for w in workers}, supervisor, now)
     if controls is not None:
         result.overload = controls.summary()
+    if obs is not None:
+        result.obs = obs.summary()
     if forensics is not None:
         result.forensics = forensics.summary()
     if registry is not None:

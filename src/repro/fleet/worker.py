@@ -64,7 +64,7 @@ class EnclaveWorker:
                  scheme_kwargs=None, watchdog_budget: int = 200_000,
                  epc_spike_rate: float = 0.0,
                  faults_seed: Optional[int] = None, telemetry=None,
-                 forensics=None, mutates=None):
+                 forensics=None, mutates=None, obs=None):
         self.wid = wid
         self.module = module              # compiled, uninstrumented base
         self.scheme_name = scheme_name
@@ -77,6 +77,10 @@ class EnclaveWorker:
         self.telemetry = telemetry
         self.forensics = forensics \
             if (forensics is not None and forensics.enabled) else None
+        #: Optional ``repro.obs.Observability``; when attached, each
+        #: completed service attempt reports its counter delta (exact
+        #: because workers are depth-1) for critical-path attribution.
+        self.obs = obs if (obs is not None and obs.enabled) else None
         #: Predicate classifying request payloads as state-mutating; only
         #: set when the campaign runs with stateful recovery enabled.
         self.mutates = mutates
@@ -132,6 +136,7 @@ class EnclaveWorker:
         self._hang_ticks = 0
         self._pause_ticks = 0
         self._dedup_ack = False
+        self._obs_snap = None
         #: Mutating request ids whose effects are in this incarnation's
         #: state (repopulated by recovery replay after a restart); the
         #: dedup check in ``submit`` consults it so a hedged or retried
@@ -148,7 +153,7 @@ class EnclaveWorker:
         return self.vm.enclave.cycles()
 
     def submit(self, rid: int, payload: bytes, priority: str = "normal",
-               waited_cycles: int = 0) -> None:
+               waited_cycles: int = 0, trace: Optional[str] = None) -> None:
         """Hand one request to the worker (depth-1: caller checks idle).
 
         ``waited_cycles`` backdates the watchdog clock by the simulated
@@ -177,7 +182,12 @@ class EnclaveWorker:
         self.inflight = (rid, payload)
         self._sent_seen = len(vm.net.sent(self.conn))
         self._dispatch_instr = vm.counters.instructions - max(0, waited_cycles)
-        mid = vm.net.push(self.conn, payload, priority=priority)
+        if self.obs is not None:
+            from repro.telemetry.profiler import ATTRIB_FIELDS
+            self._obs_snap = (
+                tuple(getattr(vm.counters, f) for f in ATTRIB_FIELDS),
+                vm.enclave.cycles())
+        mid = vm.net.push(self.conn, payload, priority=priority, trace=trace)
         if self.forensics is not None:
             vm.request_id = rid
             vm.request_payload = payload
@@ -317,6 +327,16 @@ class EnclaveWorker:
         self._sent_seen = len(sent)       # swallow multi-part replies
         rid, payload = self.inflight
         self.inflight = None
+        if self.obs is not None and self._obs_snap is not None:
+            from repro.telemetry.profiler import ATTRIB_FIELDS
+            snap, cycles0 = self._obs_snap
+            self._obs_snap = None
+            now = tuple(getattr(self.vm.counters, f)
+                        for f in ATTRIB_FIELDS)
+            delta = {f: now[i] - snap[i]
+                     for i, f in enumerate(ATTRIB_FIELDS)}
+            self.obs.enclave_sample(rid, self.wid, delta,
+                                    self.vm.enclave.cycles() - cycles0)
         if reply == ERROR_MARKER:
             self.error_replies += 1
             return [(rid, ERROR)]
@@ -339,4 +359,5 @@ class EnclaveWorker:
                 self.vm, self.last_error, reason=reason, rid=stranded,
                 payload=payload, wid=self.wid, thread=self._fault_thread)
         self.inflight = None
+        self._obs_snap = None     # cycles died with the incarnation
         return TickReport(outcomes, crash=reason, stranded=stranded)

@@ -1,0 +1,167 @@
+"""``repro.obs`` — the end-to-end request observatory.
+
+Four cooperating pieces (see DESIGN.md, "Request observatory"):
+
+* :mod:`~repro.obs.trace` — causal request tracing: one deterministic
+  trace context per request id, minted at client submit and propagated
+  through NetworkSim frames, Balancer dispatch/retry/hedge, worker
+  execution and recovery failover; exports Chrome ``trace_event`` JSON
+  and text waterfalls;
+* :mod:`~repro.obs.attribution` — critical-path attribution: exact
+  per-request tick decomposition (queue wait / enclave compute / retry
+  amplification / network) plus model-priced bounds-check-tax and
+  EPC-stall cycle attribution from scheme-vs-native counter deltas;
+* :mod:`~repro.obs.burnrate` — SRE-style multi-window burn-rate rules
+  over the SLO tracker's good/bad totals on the campaign tick clock,
+  with deterministic fire/clear events landed in the flight recorder;
+* :mod:`~repro.obs.exposition` — a Prometheus-style text exposition
+  snapshot merging telemetry counters, SLO summaries, alert states and
+  every drop counter.
+
+Like telemetry and forensics, the observatory is off by default and
+zero-cost when off: no fleet hot path does observability work unless an
+:class:`Observability` handle is attached, attaching one never charges
+simulated counters, and default campaign output is byte-identical with
+the subsystem absent or disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.attribution import (
+    COMPONENTS,
+    AttributionLedger,
+    decompose_trace,
+    scheme_tax,
+)
+from repro.obs.burnrate import DEFAULT_RULES, BurnRateEngine, BurnRateRule
+from repro.obs.exposition import Exposition, render_exposition
+from repro.obs.trace import HOP_KINDS, FleetTracer, RequestTrace, TraceContext
+
+
+class Observability:
+    """One campaign's observability context: tracer + ledger + alerts.
+
+    ``enabled=False`` constructs a permanently inert handle — attaching
+    it anywhere is a no-op and every component keeps its obs-free fast
+    path, the exact contract :class:`repro.telemetry.Telemetry` and
+    :class:`repro.forensics.Forensics` honour.
+    """
+
+    def __init__(self, enabled: bool = True, seed: int = 0,
+                 max_traces: int = 100_000, rules=DEFAULT_RULES):
+        self.enabled = enabled
+        self.tracer = FleetTracer(seed=seed, max_traces=max_traces)
+        self.attribution = AttributionLedger()
+        self.burn = BurnRateEngine(rules=rules)
+        self._bound = False
+
+    # -- campaign lifecycle ---------------------------------------------
+    def begin_campaign(self, config, forensics=None) -> None:
+        """Bind to one campaign: seed the trace-id space, route alert
+        fire/clear events into the campaign's flight recorder."""
+        self.tracer.seed = config.seed
+        self.burn.recorder = forensics
+        self._bound = True
+
+    # -- request lifecycle hooks (campaign/balancer/worker call these) --
+    def on_submit(self, request, now: int) -> None:
+        """Client submit: mint the trace context and stamp the request."""
+        request.trace = self.tracer.submit(
+            request.rid, now, priority=request.priority)
+
+    def on_client_retry(self, request, now: int) -> None:
+        """The client swarm resubmitted ``rid``: same root, new branch."""
+        request.trace = self.tracer.submit(
+            request.rid, now, priority=request.priority)
+
+    def enclave_sample(self, rid: int, wid: int, fields: Dict[str, int],
+                       cycles: int) -> None:
+        """A worker finished one service attempt for ``rid``: counter
+        deltas between submit and reply, exact because workers are
+        depth-1."""
+        self.attribution.add_sample(rid, fields, cycles)
+
+    def on_settled(self, request) -> None:
+        """The request reached the terminal the SLO tracker will account
+        (first terminal wins; later duplicates become zombie hops)."""
+        tick = request.completed_at if request.completed_at is not None \
+            else request.arrival
+        trace = self.tracer.get(request.rid)
+        already_terminal = trace is not None and trace.status is not None
+        self.tracer.terminal(request.rid, tick, request.status,
+                             wid=request.worker)
+        if trace is not None and not already_terminal:
+            sample = self.attribution.sample_for(request.rid)
+            if sample is not None:
+                self.tracer.hop(
+                    request.rid, "enclave", tick, wid=request.worker,
+                    cycles=self.attribution.cycles_for(request.rid),
+                    bounds_checks=sample["bounds_checks"],
+                    epc_faults=sample["epc_faults"])
+            self.attribution.settle(trace)
+
+    def observe_tick(self, now: int, slo) -> None:
+        """Per-tick burn-rate feed from the SLO tracker's cumulative
+        counters.  With goodput accounting on (overload campaigns) good
+        is *timely* serves and a late serve burns budget like a failure
+        — a congestion collapse where everything is eventually served
+        late must page.  Without a deadline, good = serves and bad =
+        failures.  Error replies (correctly refused poison) and
+        admission rejections (the fleet protecting itself) burn no
+        budget either way — which is why protected overload stays
+        silent while the naive collapse fires."""
+        if slo.deadline_ticks is not None:
+            good = slo.timely
+            bad = (slo.served - slo.timely) + slo.failed
+        else:
+            good = slo.served
+            bad = slo.failed
+        self.burn.observe(now, good, bad)
+
+    # -- export ----------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        return {
+            "trace": self.tracer.summary(),
+            "attribution": self.attribution.rollup(),
+            "burn": self.burn.summary(),
+        }
+
+    def chrome_trace(self, tick_cycles: int = 1) -> Dict[str, object]:
+        return self.tracer.chrome_trace(tick_cycles=tick_cycles)
+
+
+#: Process-wide default observability, set by CLI flags; campaigns fall
+#: back to it when no explicit handle is passed (None = off, the
+#: zero-cost default).
+_default: Optional[Observability] = None
+
+
+def set_default(obs: Optional[Observability]) -> None:
+    global _default
+    _default = obs
+
+
+def get_default() -> Optional[Observability]:
+    return _default
+
+
+__all__ = [
+    "AttributionLedger",
+    "BurnRateEngine",
+    "BurnRateRule",
+    "COMPONENTS",
+    "DEFAULT_RULES",
+    "Exposition",
+    "FleetTracer",
+    "HOP_KINDS",
+    "Observability",
+    "RequestTrace",
+    "TraceContext",
+    "decompose_trace",
+    "get_default",
+    "render_exposition",
+    "scheme_tax",
+    "set_default",
+]

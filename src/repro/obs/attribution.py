@@ -1,0 +1,231 @@
+"""Critical-path attribution: where did a request's ticks and cycles go?
+
+Two layers, matching the two clocks the fleet runs on:
+
+* **Tick decomposition** (exact): each terminal request's end-to-end
+  ticks split into ``queue_wait`` (first submit → first service start),
+  ``enclave_compute`` (the service segment that produced the terminal),
+  ``retry_amplification`` (wasted service segments, re-queue waits and
+  client resubmissions), and ``network`` (frame delivery — identically 0
+  on this simulator, where a pushed frame is receivable the same tick,
+  kept as an explicit column so the taxonomy is honest about it).  The
+  decomposition is computed by walking the request's hop log, and the
+  four components sum *exactly* to ``terminal - first_submit + 1``
+  for every request — an invariant the tests pin.
+
+* **Cycle attribution** (model-priced): inside ``enclave_compute``, the
+  per-request counter deltas sampled by the workers (instructions,
+  cache misses, EPC faults, bounds checks — the PR 2 profiler's
+  :data:`~repro.telemetry.profiler.ATTRIB_FIELDS`) are rolled up per
+  campaign and diffed against a native-baseline campaign, then priced
+  through :func:`repro.telemetry.profiler._decompose` into the paper's
+  check / cache / EPC-fault buckets.  That diff is the *bounds-check
+  tax*: the share of a scheme's per-request cycles that exist only
+  because the scheme is instrumented.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sgx.counters import CostModel
+from repro.telemetry.profiler import ATTRIB_FIELDS, _decompose, _shares
+
+#: Tick-decomposition component names, reporting order.
+COMPONENTS = ("queue_wait", "enclave_compute", "retry_amplification",
+              "network")
+
+#: Hop kinds that delimit tick-decomposition segments.
+_WALK_KINDS = frozenset(("client_submit", "client_retry", "dispatch",
+                         "requeue", "reply"))
+
+
+def decompose_trace(trace) -> Optional[Dict[str, object]]:
+    """Exact tick decomposition of one terminal
+    :class:`repro.obs.trace.RequestTrace`; None while the trace is open.
+
+    Walks the hop log as a segment machine: time between a (re)submit
+    and the next dispatch is waiting, time between a dispatch and the
+    next interruption (requeue / client retry) or the terminal is
+    service.  The first wait is ``queue_wait``; every later wait, and
+    every service segment that did *not* end in the terminal, is
+    ``retry_amplification``.  The closing segment gets the fencepost
+    ``+1`` (a request arriving and completing on the same tick spent one
+    tick in the system), so the components always sum to end-to-end.
+    """
+    if trace.status is None or trace.terminal_tick is None:
+        return None
+    buckets = {name: 0 for name in COMPONENTS}
+    t = trace.first_tick
+    in_service = False
+    dispatched = False
+    attempts = 0
+    for hop in trace.hops:
+        if hop.kind not in _WALK_KINDS:
+            continue
+        seg = max(0, hop.tick - t)
+        if hop.kind == "dispatch":
+            buckets["retry_amplification" if dispatched
+                    else "queue_wait"] += seg
+            dispatched = True
+            in_service = True
+            attempts += 1
+        elif hop.kind in ("requeue", "client_retry"):
+            # Interrupted: a crash threw the request back (service so far
+            # wasted) or the client resubmitted after a failure.
+            if in_service or dispatched:
+                buckets["retry_amplification"] += seg
+            else:
+                buckets["queue_wait"] += seg
+            in_service = False
+        elif hop.kind == "reply":
+            seg += 1                      # closing fencepost
+            if in_service:
+                buckets["enclave_compute"] += seg
+            elif dispatched:
+                buckets["retry_amplification"] += seg
+            else:
+                buckets["queue_wait"] += seg
+        t = hop.tick
+    total = trace.terminal_tick - trace.first_tick + 1
+    return {
+        "rid": trace.rid,
+        "trace_id": trace.trace_id,
+        "status": trace.status,
+        "priority": trace.priority,
+        "attempts": attempts,
+        "total_ticks": total,
+        **buckets,
+    }
+
+
+class AttributionLedger:
+    """Per-campaign accumulation of tick rows and enclave counter samples.
+
+    Workers feed :meth:`add_sample` one counter delta per completed
+    service (submit → reply on one incarnation); the campaign feeds
+    :meth:`settle` each trace as it goes terminal.  :meth:`rollup`
+    aggregates — guarded to return ``None`` means, never NaN, for
+    zero-served campaigns so result JSON stays ``allow_nan=False``-safe.
+    """
+
+    def __init__(self) -> None:
+        self.rows: List[Dict[str, object]] = []
+        #: Summed per-request counter deltas keyed by rid (a retried
+        #: request accumulates over its service attempts).
+        self._samples: Dict[int, Dict[str, int]] = {}
+        self._sample_cycles: Dict[int, int] = {}
+        self.sampled_requests = 0
+
+    # -- recording ------------------------------------------------------
+    def add_sample(self, rid: int, fields: Dict[str, int],
+                   cycles: int) -> None:
+        acc = self._samples.get(rid)
+        if acc is None:
+            acc = self._samples[rid] = {f: 0 for f in ATTRIB_FIELDS}
+            self.sampled_requests += 1
+        for field in ATTRIB_FIELDS:
+            acc[field] += fields.get(field, 0)
+        self._sample_cycles[rid] = self._sample_cycles.get(rid, 0) + cycles
+
+    def sample_for(self, rid: int) -> Optional[Dict[str, int]]:
+        return self._samples.get(rid)
+
+    def cycles_for(self, rid: int) -> int:
+        return self._sample_cycles.get(rid, 0)
+
+    def settle(self, trace) -> Optional[Dict[str, object]]:
+        row = decompose_trace(trace)
+        if row is None:
+            return None
+        row["enclave_cycles"] = self._sample_cycles.get(trace.rid, 0)
+        sample = self._samples.get(trace.rid)
+        row["bounds_checks"] = sample["bounds_checks"] if sample else 0
+        row["epc_faults"] = sample["epc_faults"] if sample else 0
+        self.rows.append(row)
+        return row
+
+    # -- aggregation ----------------------------------------------------
+    def rollup(self) -> Dict[str, object]:
+        """Campaign-level attribution: counts, mean tick components over
+        served requests, and mean per-served-request counter fields."""
+        served = [r for r in self.rows if r["status"] == "served"]
+        n = len(served)
+        by_status: Dict[str, int] = {}
+        for row in self.rows:
+            by_status[row["status"]] = by_status.get(row["status"], 0) + 1
+        out: Dict[str, object] = {
+            "requests": len(self.rows),
+            "served": n,
+            "by_status": {k: by_status[k] for k in sorted(by_status)},
+            "sampled_requests": self.sampled_requests,
+        }
+        if n == 0:
+            # S1 guard: a campaign that served nothing still produces a
+            # valid rollup — None means, no NaN, no ZeroDivisionError.
+            out["mean_total_ticks"] = None
+            out["mean_components"] = None
+            out["component_shares"] = None
+            out["mean_counters"] = None
+            out["mean_enclave_cycles"] = None
+            return out
+        total_ticks = sum(r["total_ticks"] for r in served)
+        out["mean_total_ticks"] = total_ticks / n
+        out["mean_components"] = {
+            name: sum(r[name] for r in served) / n for name in COMPONENTS}
+        component_sum = sum(sum(r[name] for r in served)
+                            for name in COMPONENTS)
+        out["component_shares"] = {
+            name: (sum(r[name] for r in served) / component_sum
+                   if component_sum else 0.0)
+            for name in COMPONENTS}
+        means = {f: 0.0 for f in ATTRIB_FIELDS}
+        cycles = 0
+        counted = 0
+        for row in served:
+            sample = self._samples.get(row["rid"])
+            if sample is None:
+                continue
+            counted += 1
+            for field in ATTRIB_FIELDS:
+                means[field] += sample[field]
+            cycles += self._sample_cycles.get(row["rid"], 0)
+        if counted:
+            out["mean_counters"] = {f: means[f] / counted
+                                    for f in ATTRIB_FIELDS}
+            out["mean_enclave_cycles"] = cycles / counted
+        else:
+            out["mean_counters"] = None
+            out["mean_enclave_cycles"] = None
+        return out
+
+
+def scheme_tax(scheme_rollup: Dict[str, object],
+               native_rollup: Dict[str, object],
+               cost: Optional[CostModel] = None) -> Optional[Dict[str, object]]:
+    """Bounds-check tax of one scheme vs its native baseline.
+
+    Diffs the mean per-served-request counters of two campaign rollups
+    and prices the delta with the cost model (enclave pricing: misses pay
+    MEE decryption).  Returns None when either side has no samples —
+    zero-served campaigns never crash the attribution table (S1).
+    """
+    s_means = scheme_rollup.get("mean_counters")
+    n_means = native_rollup.get("mean_counters")
+    if s_means is None or n_means is None:
+        return None
+    cost = cost or CostModel()
+    delta = {f: s_means[f] - n_means[f] for f in ATTRIB_FIELDS}
+    priced = _decompose(delta, cost, enclave=True)
+    scheme_cycles = scheme_rollup.get("mean_enclave_cycles") or 0
+    return {
+        "delta_counters": delta,
+        **priced,
+        "shares": _shares(priced),
+        #: Fraction of the scheme's mean per-request enclave cycles that
+        #: are instrumentation (the headline "tax share").
+        "tax_share": (priced["total_cycles"] / scheme_cycles
+                      if scheme_cycles else 0.0),
+        "check_share": (priced["check_cycles"] / scheme_cycles
+                        if scheme_cycles else 0.0),
+    }

@@ -29,6 +29,10 @@ class SpanTracer:
         self.dropped = 0
         self.pid = 1
         self.last_ts = 0
+        #: Max timestamp seen per process lane: open spans of a crashed
+        #: run must close at *that run's* end, not at the global max a
+        #: later, longer run advanced (which inflated crash durations).
+        self._pid_last_ts: Dict[int, int] = {}
         self._stacks: Dict[Tuple[int, int], List[Tuple[str, int, str]]] = {}
 
     # ------------------------------------------------------------------
@@ -41,6 +45,8 @@ class SpanTracer:
     def _note_ts(self, ts: int) -> None:
         if ts > self.last_ts:
             self.last_ts = ts
+        if ts > self._pid_last_ts.get(self.pid, 0):
+            self._pid_last_ts[self.pid] = ts
 
     # ------------------------------------------------------------------
     def begin(self, tid: int, name: str, ts: int,
@@ -114,13 +120,16 @@ class SpanTracer:
 
     # ------------------------------------------------------------------
     def close_open_spans(self) -> None:
-        """Flush still-open spans (crashed runs) at the last timestamp."""
+        """Flush still-open spans (crashed runs), each at its own
+        process lane's last timestamp — deterministic, and a short
+        crashed run is not stretched to the end of a longer one."""
         for (pid, tid), stack in self._stacks.items():
             while stack:
                 open_name, ts0, cat = stack.pop()
+                end_ts = self._pid_last_ts.get(pid, ts0)
                 self._emit({"name": open_name, "cat": cat, "ph": "X",
                             "ts": ts0,
-                            "dur": max(0, self.last_ts - ts0),
+                            "dur": max(0, end_ts - ts0),
                             "pid": pid, "tid": tid})
 
     def chrome_trace(self) -> Dict[str, object]:

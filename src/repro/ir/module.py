@@ -91,6 +91,10 @@ class Function:
         self.code: List[Instr] = []
         self.frame_size = 0
         self.block_index: Dict[str, int] = {}
+        # Predecode metadata: indices that start a basic block, i.e. the
+        # only code positions a branch may land on.  The fast path's
+        # superinstruction fuser refuses to swallow these as pair tails.
+        self.block_starts: frozenset = frozenset()
         self.finalized = False
 
     # -- construction helpers -------------------------------------------
@@ -161,6 +165,7 @@ class Function:
                         setattr(ins, attr, index[target])
         self.code = code
         self.block_index = index
+        self.block_starts = frozenset(index.values())
         self.finalized = True
         return self
 

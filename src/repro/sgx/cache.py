@@ -9,7 +9,7 @@ lets those effects show up in the counters.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.sgx.counters import PerfCounters
 
@@ -20,8 +20,10 @@ LINE_SIZE = 1 << LINE_SHIFT
 class Cache:
     """One cache level: set-associative, LRU within a set.
 
-    Sets are lists ordered most-recently-used first; with small
-    associativity the list operations are effectively constant-time.
+    Each set is a dict in recency order, least-recently-used first
+    (insertion-ordered dicts make hit/evict O(1) without the exception
+    a list ``remove`` would raise on every miss — this is the hottest
+    function of the whole simulator).
     """
 
     def __init__(self, size_bytes: int, associativity: int = 4):
@@ -29,7 +31,7 @@ class Cache:
         self.sets = max(1, lines // associativity)
         self.associativity = associativity
         self.flushes = 0
-        self._data: Dict[int, List[int]] = {}
+        self._data: Dict[int, Dict[int, None]] = {}
 
     def occupied_lines(self) -> int:
         """Lines currently resident (for end-of-run telemetry)."""
@@ -40,17 +42,16 @@ class Cache:
         index = line % self.sets
         ways = self._data.get(index)
         if ways is None:
-            self._data[index] = [line]
+            self._data[index] = {line: None}
             return False
-        try:
-            ways.remove(line)
-            ways.insert(0, line)
+        if line in ways:
+            del ways[line]
+            ways[line] = None          # re-append as most recent
             return True
-        except ValueError:
-            ways.insert(0, line)
-            if len(ways) > self.associativity:
-                ways.pop()
-            return False
+        ways[line] = None
+        if len(ways) > self.associativity:
+            del ways[next(iter(ways))]   # evict the LRU line
+        return False
 
     def flush(self) -> None:
         self.flushes += 1

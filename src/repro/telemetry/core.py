@@ -145,6 +145,16 @@ class Telemetry:
         for name, value in snapshot.items():
             self.registry.gauge(f"{prefix}.{name}").set(value)
 
+    def fastpath_hits(self, stats: Dict[str, int]) -> None:
+        """Publish the VM's dynamic superinstruction hit counts as the
+        ``vm.fastpath.<kind>`` counter family.  Zero-hit kinds are not
+        published: a reference-interpreter run (or a scheme that fuses
+        nothing) leaves the registry without fastpath entries, so counter
+        parity between the two interpreters stays a hard invariant."""
+        for kind, hits in stats.items():
+            if hits:
+                self.registry.counter(f"vm.fastpath.{kind}").inc(hits)
+
     # -- export ----------------------------------------------------------
     def chrome_trace(self) -> Dict[str, object]:
         """Chrome trace_event export; always a valid document, even for

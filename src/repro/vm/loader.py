@@ -47,6 +47,10 @@ class Program:
         self.global_addr: Dict[str, int] = {}
         self.global_end: int = GLOBALS_BASE
         self.resolved_consts: Dict[str, List[object]] = {}
+        # Per-function predecoded code (repro.vm.fastpath.FastCode),
+        # keyed by function name.  Bound to one VM's runtime — a Program
+        # is created per load, so the cache shares its lifetime.
+        self._fastcache: Dict[str, object] = {}
 
     def address_of_function(self, name: str) -> int:
         return self.func_addr[name]
@@ -56,6 +60,17 @@ class Program:
 
     def function_at(self, address: int) -> Optional[Function]:
         return self.func_by_addr.get(address)
+
+    def fast_for(self, fn: Function, vm: "VM"):
+        """Predecoded form of ``fn``, compiled on first use and
+        invalidated whenever the function's code list identity changes
+        (a pass re-finalizing the module swaps ``fn.code`` out)."""
+        fc = self._fastcache.get(fn.name)
+        if fc is None or fc.code is not fn.code:
+            from repro.vm.fastpath import compile_function
+            fc = compile_function(vm, fn, self.resolved_consts[fn.name])
+            self._fastcache[fn.name] = fc
+        return fc
 
 
 def load_program(vm: "VM", module: Module) -> Program:

@@ -20,6 +20,7 @@ Design notes relevant to the reproduction:
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +60,13 @@ BLOCK_RETRY = object()
 #: Simulated-cycle cost of rolling a thread back to its request checkpoint
 #: (restoring frames + re-arming return tokens; a longjmp-and-cleanup path).
 RECOVERY_COST = 400
+
+
+def _env_fastpath() -> bool:
+    """Default for ``VM(fastpath=...)``: the ``REPRO_VM_FASTPATH``
+    environment variable, ON unless explicitly disabled."""
+    value = os.environ.get("REPRO_VM_FASTPATH", "1").strip().lower()
+    return value not in ("0", "off", "false", "no")
 
 
 class NativeResult:
@@ -245,7 +253,8 @@ class VM:
                  max_instructions: int = 2_000_000_000,
                  stack_size: int = DEFAULT_STACK_SIZE,
                  seed: Optional[int] = None,
-                 telemetry=None, forensics=None):
+                 telemetry=None, forensics=None,
+                 fastpath: Optional[bool] = None):
         self.enclave = enclave or Enclave()
         self.space = self.enclave.space
         self.counters = self.enclave.counters
@@ -271,6 +280,15 @@ class VM:
         self.external_rids = False
         #: Fleet worker id this VM incarnates (set by EnclaveWorker).
         self.worker_id: Optional[int] = None
+        #: Interpreter selection: the predecoded fast path (default) or
+        #: the reference if/elif ladder.  Both are semantically identical
+        #: (enforced by tests/test_vm_differential.py); None consults the
+        #: REPRO_VM_FASTPATH environment variable.
+        self.fastpath = _env_fastpath() if fastpath is None else bool(fastpath)
+        #: Dynamic superinstruction hit counts by fusion kind, tallied
+        #: only while telemetry observes the run (zero-cost-when-off);
+        #: published to the metrics registry as ``vm.fastpath.<kind>``.
+        self.fastpath_stats: Dict[str, int] = {}
         self.quantum = quantum
         self.max_instructions = max_instructions
         self.stack_size = stack_size
@@ -518,9 +536,78 @@ class VM:
             raise ControlFlowHijack(target, "corrupted return address")
         raise SegmentationFault(target, 8, "return to non-code address")
 
-    # The dispatch loop.  Deliberately one big function: locals are the
-    # fastest variable class in CPython and this is the simulator's hot path.
-    def _step(self, thread: Thread, quantum: int) -> None:   # noqa: C901
+    def _step(self, thread: Thread, quantum: int) -> None:
+        """Run ``thread`` for up to ``quantum`` instructions on the
+        selected interpreter.  Everything — ``run()``, the fleet's
+        ``EnclaveWorker`` tick loop — funnels through here."""
+        if self.fastpath:
+            self._run_fast(thread, quantum)
+        else:
+            self._run_reference(thread, quantum)
+
+    def _run_fast(self, thread: Thread, quantum: int) -> None:
+        """Predecoded handler dispatch (see ``repro.vm.fastpath``).
+
+        The outer structure mirrors ``_run_reference`` exactly: one
+        telemetry segment per frame activation, ``frame.pc`` written back
+        only when the frame didn't yield, the same up-front instruction
+        budget.  The inner loop runs fused superinstructions while the
+        remaining quantum can absorb the longest one, then finishes the
+        slice on unfused handlers so thread switches land on the exact
+        reference instruction boundaries.
+        """
+        self.current = thread
+        program = self.program
+        telem = self.telemetry
+        counters = self.counters
+
+        self._executed += quantum   # upper bound; cheap budget check
+        if self._executed > self.max_instructions:
+            raise VMError(
+                f"instruction budget exceeded ({self.max_instructions}); "
+                f"likely an infinite loop in the simulated program")
+
+        fast_for = program.fast_for
+        while quantum > 0 and thread.state == RUNNABLE:
+            frame = thread.frames[-1]
+            fc = fast_for(frame.fn, self)
+            handlers = fc.handlers
+            costs = fc.costs
+            plain = fc.plain
+            regs = frame.regs
+            pc = frame.pc
+            switch = False
+            if telem is not None:
+                seg_snap = telem.functions.begin(counters)
+            while quantum >= 3:     # fastpath.FUSE_MAX
+                npc = handlers[pc](frame, regs, thread)
+                quantum -= costs[pc]
+                if npc >= 0:
+                    pc = npc
+                else:
+                    switch = True
+                    break
+            if not switch:
+                while quantum > 0:
+                    npc = plain[pc](frame, regs, thread)
+                    quantum -= 1
+                    if npc >= 0:
+                        pc = npc
+                    else:
+                        switch = True
+                        break
+            if telem is not None:
+                telem.functions.end(frame.fn.name, counters, seg_snap)
+            if not switch:
+                frame.pc = pc
+        self.current = None
+
+    # The reference dispatch loop.  Deliberately one big function: locals
+    # are the fastest variable class in CPython and this was the
+    # simulator's only hot path before the predecoded fast path existed;
+    # it remains the executable specification the fast path is diffed
+    # against (tests/test_vm_differential.py).
+    def _run_reference(self, thread: Thread, quantum: int) -> None:   # noqa: C901
         self.current = thread
         counters = self.counters
         space = self.space

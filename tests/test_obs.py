@@ -338,3 +338,24 @@ class TestZeroCostWhenOff:
         obs = Observability(seed=7)
         result = _campaign(obs)
         json.dumps(result.as_dict(), allow_nan=False)
+
+
+class TestFastpathInvariance:
+    def test_scheme_tax_fastpath_invariant(self, monkeypatch):
+        """The attribution pipeline must be blind to which interpreter
+        ran: scheme_tax diffs PerfCounters means, and the predecoded
+        fast path guarantees counter identity, so the whole tax document
+        — deltas, priced components, shares — must match bit for bit
+        between REPRO_VM_FASTPATH=0 and =1."""
+        taxes = {}
+        for flag in ("0", "1"):
+            monkeypatch.setenv("REPRO_VM_FASTPATH", flag)
+            rollups = {}
+            for scheme in ("native", "sgxbounds"):
+                obs = Observability(seed=7)
+                _campaign(obs, scheme=scheme, policy="drop-request")
+                rollups[scheme] = obs.attribution.rollup()
+            taxes[flag] = scheme_tax(rollups["sgxbounds"],
+                                     rollups["native"])
+        assert taxes["1"] is not None
+        assert taxes["1"] == taxes["0"]

@@ -1,0 +1,168 @@
+"""Differential-identity oracle: fastpath vs reference interpreter.
+
+The predecoded dispatcher (:mod:`repro.vm.fastpath`) is only legal if it
+is *observationally indistinguishable* from the reference loop
+(``VM._run_reference``) — byte-identical stdout, identical PerfCounters,
+identical violation and forensics records, identical crash types — for
+every program, every scheme, every policy.  This module is that proof
+obligation, at three granularities:
+
+1. every registered suite workload (XS) under every scheme;
+2. the scheme x policy matrix on a real server app with an exploit
+   request, down to flight-recorder JSONL and postmortem equality;
+3. a seeded fuzz corpus (>= 200 generated MiniC programs per seed,
+   ``tests/genprog.py``) through both interpreters.
+
+Any drift between the loops fails here first; keep this file green
+before trusting any benchmark number the fast path produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.forensics import Forensics
+from repro.harness.runner import run_server, run_workload
+from repro.vm import policy
+from repro.workloads import all_workloads, get
+from repro.workloads.apps import apache, memcached
+
+from tests.genprog import corpus
+from tests.util import run_c
+
+PROTECTED_SCHEMES = ("sgxbounds", "asan", "mpx", "baggy")
+
+#: Fuzz corpus sizing: the ISSUE's oracle floor is 200 programs per seed.
+FUZZ_SEEDS = (2017, 40917)
+FUZZ_COUNT = 200
+
+
+def _run_pair(workload, scheme, **kwargs):
+    ref = run_workload(workload, scheme, fastpath=False, **kwargs)
+    fast = run_workload(workload, scheme, fastpath=True, **kwargs)
+    return ref, fast
+
+
+def _assert_results_identical(ref, fast, label):
+    assert fast.output == ref.output, f"{label}: stdout drift"
+    assert fast.result == ref.result, f"{label}: exit value drift"
+    assert fast.crashed == ref.crashed, f"{label}: crash-type drift"
+    assert fast.counters == ref.counters, f"{label}: PerfCounters drift"
+    assert fast.violation == ref.violation, f"{label}: violation drift"
+    assert fast.scheme_report == ref.scheme_report, \
+        f"{label}: scheme report drift"
+
+
+# ---------------------------------------------------------------------------
+# 1. Every registered workload
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name",
+                         [w.name for w in all_workloads()])
+def test_workload_identity_native(name):
+    ref, fast = _run_pair(get(name), "native", size="XS")
+    _assert_results_identical(ref, fast, f"{name}/native")
+
+
+def test_workload_identity_all_schemes():
+    """Full workload x protected-scheme sweep in one pass (XS).
+
+    One test rather than 116 parametrized cells: each cell is cheap and
+    a drift report names the exact cell anyway.
+    """
+    for workload in all_workloads():
+        for scheme in PROTECTED_SCHEMES:
+            ref, fast = _run_pair(workload, scheme, size="XS")
+            _assert_results_identical(
+                ref, fast, f"{workload.name}/{scheme}")
+
+
+# ---------------------------------------------------------------------------
+# 2. Scheme x policy matrix with violation/forensics records
+# ---------------------------------------------------------------------------
+
+def _server_cell(scheme, pol, fastpath):
+    forensics = Forensics()
+    result = run_server(
+        memcached.SOURCE,
+        [[memcached.make_request(1, b"k", b"v" * 8),
+          memcached.cve_2011_4971_request(),
+          memcached.make_request(2, b"k")]],
+        scheme, 4, name="memcached", policy=pol,
+        forensics=forensics, fastpath=fastpath)
+    return result, forensics
+
+
+@pytest.mark.parametrize("scheme", PROTECTED_SCHEMES)
+@pytest.mark.parametrize("pol", policy.ALL_POLICIES)
+def test_scheme_policy_matrix(scheme, pol):
+    ref, ref_fx = _server_cell(scheme, pol, fastpath=False)
+    fast, fast_fx = _server_cell(scheme, pol, fastpath=True)
+    label = f"memcached/{scheme}/{pol}"
+    _assert_results_identical(ref, fast, label)
+    assert fast.resilience == ref.resilience, f"{label}: resilience drift"
+    # Forensics must match record-for-record: the flight recorder's JSONL
+    # dump covers event order, timestamps (instruction counts) and every
+    # detail field; postmortems cover stack capture at the violation site.
+    assert fast_fx.recorder.to_jsonl() == ref_fx.recorder.to_jsonl(), \
+        f"{label}: flight-recorder drift"
+    assert fast_fx.postmortems == ref_fx.postmortems, \
+        f"{label}: postmortem drift"
+
+
+def test_apache_heartbleed_identity():
+    """Second server app, different overflow shape (Heartbleed-style
+    over-read followed by a legitimate request)."""
+    requests = [apache.heartbleed_request(), apache.static_get()]
+    for pol in (policy.ABORT, policy.BOUNDLESS):
+        ref = run_server(apache.SOURCE, [list(requests)], "sgxbounds",
+                         4, name="apache", policy=pol, fastpath=False)
+        fast = run_server(apache.SOURCE, [list(requests)], "sgxbounds",
+                          4, name="apache", policy=pol, fastpath=True)
+        _assert_results_identical(ref, fast, f"apache/sgxbounds/{pol}")
+
+
+# ---------------------------------------------------------------------------
+# 3. Generated-program fuzz corpus
+# ---------------------------------------------------------------------------
+
+def _counters(vm):
+    return vm.enclave.finalize().snapshot()
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_fuzz_identity(seed):
+    """>= 200 seeded random programs per seed, both interpreters."""
+    mismatches = []
+    for k, source in enumerate(corpus(seed, FUZZ_COUNT)):
+        ref_result, ref_vm = run_c(source, fastpath=False)
+        fast_result, fast_vm = run_c(source, fastpath=True)
+        if (fast_result != ref_result
+                or fast_vm.output() != ref_vm.output()
+                or _counters(fast_vm) != _counters(ref_vm)):
+            mismatches.append(k)
+    assert not mismatches, (
+        f"seed {seed}: programs {mismatches} diverged — reproduce with "
+        f"tests.genprog.corpus({seed}, {FUZZ_COUNT})[k]")
+
+
+def test_fuzz_identity_under_sgxbounds():
+    """Sample of the corpus under instrumentation: exercises bnd_access
+    fusion, tagged-pointer GEPs and the clamped-access paths the native
+    runs never reach."""
+    from repro.core import SGXBoundsScheme
+    for k, source in enumerate(corpus(7, 25)):
+        ref_result, ref_vm = run_c(source, SGXBoundsScheme(),
+                                   fastpath=False)
+        fast_result, fast_vm = run_c(source, SGXBoundsScheme(),
+                                     fastpath=True)
+        assert fast_result == ref_result, f"program {k}: exit value drift"
+        assert fast_vm.output() == ref_vm.output(), \
+            f"program {k}: stdout drift"
+        assert _counters(fast_vm) == _counters(ref_vm), \
+            f"program {k}: counters drift"
+
+
+def test_corpus_is_deterministic():
+    assert corpus(99, 10) == corpus(99, 10)
+    assert corpus(99, 10) != corpus(100, 10)
